@@ -1,0 +1,50 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark module registers a *reporter* (via
+``repro.bench.reporting``) that prints the paper-style sweep tables its
+tests produced; they run at session end.  Datasets and walk engines are
+session-cached so generation cost is paid once.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.reporting import print_all_reports
+from repro.walks.engine import WalkEngine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_reports_at_end():
+    yield
+    print_all_reports()
+
+
+@pytest.fixture(scope="session")
+def yeast_data():
+    return workloads.yeast()
+
+
+@pytest.fixture(scope="session")
+def yeast_engine(yeast_data):
+    return WalkEngine(yeast_data.graph)
+
+
+@pytest.fixture(scope="session")
+def dblp_data():
+    return workloads.dblp()
+
+
+@pytest.fixture(scope="session")
+def dblp_engine(dblp_data):
+    return WalkEngine(dblp_data.graph)
+
+
+@pytest.fixture(scope="session")
+def youtube_data():
+    return workloads.youtube_small()

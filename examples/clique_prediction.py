@@ -1,0 +1,58 @@
+"""3-clique prediction with a triangle 3-way join (paper Section
+VII-B.3 / Table IV).
+
+We damage every cross-set 3-clique of a protein network by deleting one
+of its edges, then ask a triangle 3-way join on the damaged graph to
+point at the triples most likely to be cliques — and check that the
+damaged cliques are the ones it surfaces.
+
+Run with::
+
+    python examples/clique_prediction.py
+"""
+
+from repro.datasets import generate_yeast, remove_edge_per_clique
+from repro.datasets.splits import enumerate_cross_cliques
+from repro.eval import evaluate_clique_prediction
+
+
+def main() -> None:
+    data = generate_yeast(num_proteins=1200, seed=8)
+    graph = data.graph
+    sets = (
+        data.partitions["3-U"],
+        data.partitions["5-F"],
+        data.partitions["8-D"],
+    )
+    cliques = enumerate_cross_cliques(graph, *sets)
+    print(
+        f"PPI network: {graph.num_nodes} proteins, "
+        f"{graph.num_edges // 2} interactions, "
+        f"{len(cliques)} cross-set 3-cliques"
+    )
+
+    # Keep the nodes that participate in cliques so the truncated sets
+    # still contain positives (set sizes drive the |P||Q||R| ranking).
+    involved = [sorted({c[i] for c in cliques}) for i in range(3)]
+    set_p, set_q, set_r = (
+        (members + [u for u in full if u not in members])[:35]
+        for members, full in zip(involved, sets)
+    )
+
+    split = remove_edge_per_clique(graph, set_p, set_q, set_r, seed=8)
+    print(f"Removed one edge from each of {len(split.cliques)} cliques "
+          f"({len(split.removed_pairs)} distinct edges)")
+
+    result = evaluate_clique_prediction(
+        graph, split.test_graph, set_p, set_q, set_r
+    )
+    print(
+        f"\n3-clique prediction AUC = {result.auc:.4f} over "
+        f"{result.num_candidates} candidate triples "
+        f"({result.num_positives} positives)"
+    )
+    print("Paper Table IV reports 0.9536 on the real Yeast network.")
+
+
+if __name__ == "__main__":
+    main()

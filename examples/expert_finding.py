@@ -1,0 +1,74 @@
+"""Expert finding on a bibliographic network (paper Examples 2 and
+Table III).
+
+A researcher assembling a cross-disciplinary lab runs a *triangle* 3-way
+join over the DB, AI, and SYS author sets: the top answers are triples of
+authors who are all close to each other in discounted-hitting-time terms.
+A *chain* query (AI -> DB -> SYS) relaxes the requirement that AI and SYS
+be directly close — the paper shows the two shapes give different answers.
+
+Our DBLP substitute plants cross-area "labs" (heavy collaboration
+cliques), so the triangle join has a recoverable ground truth.
+
+Run with::
+
+    python examples/expert_finding.py
+"""
+
+from repro import QueryGraph, multi_way_join
+from repro.datasets import generate_dblp
+
+
+def show(title, answers, graph):
+    print(f"\n{title}")
+    print(f"{'rank':>4}  {'DB':<22} {'AI':<22} {'SYS':<22} {'f':>9}")
+    for rank, answer in enumerate(answers, start=1):
+        names = [graph.label(u) for u in answer.nodes]
+        print(
+            f"{rank:>4}  {names[0]:<22} {names[1]:<22} {names[2]:<22}"
+            f" {answer.score:>+9.4f}"
+        )
+
+
+def main() -> None:
+    data = generate_dblp(authors_per_area=400, num_labs=5, seed=7)
+    graph = data.graph
+
+    # Section VII-B: the node sets are the 100 most prolific authors of
+    # each area.
+    db = data.top_authors("DB", 100)
+    ai = data.top_authors("AI", 100)
+    sys_ = data.top_authors("SYS", 100)
+
+    triangle = multi_way_join(
+        graph,
+        QueryGraph.triangle(names=["DB", "AI", "SYS"]),
+        [db, ai, sys_],
+        k=5,
+        algorithm="pj-i",
+        m=50,
+    )
+    show("Top-5 triangle 3-way join (tight cross-area collaborators):",
+         triangle, graph)
+
+    chain = multi_way_join(
+        graph,
+        QueryGraph.chain(3, names=["AI", "DB", "SYS"]),
+        [ai, db, sys_],
+        k=5,
+        algorithm="pj-i",
+        m=50,
+    )
+    show("Top-5 chain 3-way join (AI -> DB -> SYS):", chain, graph)
+
+    # Verify the planted ground truth: the top triangle answers should be
+    # dominated by members of the planted labs.
+    lab_members = {m for lab in data.labs for m in lab.members}
+    hits = sum(
+        1 for answer in triangle if lab_members.issuperset(answer.nodes)
+    )
+    print(f"\nPlanted-lab triples among top-5 triangle answers: {hits}/5")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Link prediction with 2-way DHT joins (paper Example 1 / Section
+VII-B.2, Fig. 6).
+
+We damage the Yeast-like PPI network by hiding half of the interactions
+between its two largest protein classes, rank the missing pairs with a
+2-way join on the damaged graph, and measure how well the ranking
+recovers the hidden interactions (ROC / AUC).
+
+Run with::
+
+    python examples/link_prediction.py
+"""
+
+from repro import DHTParams, two_way_join
+from repro.datasets import generate_yeast, remove_random_cross_edges
+from repro.eval import evaluate_link_prediction
+from repro.eval.roc import true_positive_rate_at
+
+
+def main() -> None:
+    data = generate_yeast(num_proteins=2400, seed=2014)
+    graph = data.graph
+    left, right = data.largest_pair
+    print(
+        f"Yeast substitute: {graph.num_nodes} proteins, "
+        f"{graph.num_edges // 2} interactions; "
+        f"|3-U| = {len(left)}, |8-D| = {len(right)}"
+    )
+
+    split = remove_random_cross_edges(graph, left, right, fraction=0.5, seed=42)
+    print(f"Hidden interactions: {len(split.removed_pairs)}")
+
+    result = evaluate_link_prediction(
+        graph, split.test_graph, left, right,
+        params=DHTParams.dht_lambda(0.2), epsilon=1e-6,
+    )
+    print(f"\nAUC = {result.auc:.4f}  (paper reports 0.9453 on real Yeast)")
+    print(f"TPR at FPR=0.1: {true_positive_rate_at(result.roc, 0.1):.3f}")
+
+    # The concrete suggestion list a biologist would read: the top-10
+    # predicted (currently unobserved) interactions.
+    top = two_way_join(split.test_graph, left, right, k=200)
+    suggestions = [
+        p for p in top if not split.test_graph.has_edge(p.left, p.right)
+    ][:10]
+    hidden = set(split.removed_pairs) | {
+        (q, p) for p, q in split.removed_pairs
+    }
+    print("\nTop predicted interactions (* = actually hidden):")
+    for rank, pair in enumerate(suggestions, start=1):
+        marker = "*" if (pair.left, pair.right) in hidden else " "
+        print(
+            f"  {rank:>2}. protein {pair.left:>4} -- protein {pair.right:>4}"
+            f"  h_d = {pair.score:+.4f} {marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

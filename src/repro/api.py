@@ -1,0 +1,123 @@
+"""High-level convenience API.
+
+Two entry points cover the paper's two query types:
+
+* :func:`two_way_join` — top-``k`` node pairs between two node sets
+  (Section V/VI), with the algorithm selectable by its paper name.
+* :func:`multi_way_join` — top-``k`` n-tuples over a query graph
+  (Definition 4), with ``NL`` / ``AP`` / ``PJ`` / ``PJ-i`` selectable.
+
+Both default to the paper's experimental configuration: ``DHT_lambda``
+with ``lambda = 0.2``, ``epsilon = 1e-6`` (hence ``d = 8``), ``MIN``
+aggregate, and ``m = k = 50``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.dht import DHTParams
+from repro.core.nway.aggregates import MIN, Aggregate
+from repro.core.nway.all_pairs import AllPairsJoin
+from repro.core.nway.candidates import CandidateAnswer
+from repro.core.nway.nested_loop import NestedLoopJoin
+from repro.core.nway.partial_join import PartialJoin, two_way_algorithm_by_name
+from repro.core.nway.partial_join_inc import PartialJoinIncremental
+from repro.core.nway.query_graph import QueryGraph
+from repro.core.nway.spec import NWayJoinSpec
+from repro.core.two_way.base import ScoredPair, make_context
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError
+from repro.walks.engine import WalkEngine
+
+
+def two_way_join(
+    graph: Graph,
+    left: Sequence[int],
+    right: Sequence[int],
+    k: int,
+    algorithm: str = "b-idj-y",
+    params: Optional[DHTParams] = None,
+    d: Optional[int] = None,
+    epsilon: Optional[float] = None,
+    engine: Optional[WalkEngine] = None,
+) -> List[ScoredPair]:
+    """Top-``k`` 2-way join between node sets ``left`` and ``right``.
+
+    Parameters
+    ----------
+    algorithm:
+        One of ``"f-bj"``, ``"f-idj"``, ``"b-bj"``, ``"b-idj-x"``,
+        ``"b-idj-y"`` (default — the paper's fastest).
+    params / d / epsilon:
+        DHT configuration; see :class:`repro.core.dht.DHTParams`.
+
+    Returns
+    -------
+    list of ScoredPair
+        At most ``k`` pairs in descending DHT-score order.
+    """
+    context = make_context(
+        graph, left, right, params=params, d=d, epsilon=epsilon, engine=engine
+    )
+    algorithm_cls = two_way_algorithm_by_name(algorithm)
+    return algorithm_cls(context).top_k(k)
+
+
+_NWAY_ALGORITHMS = ("nl", "ap", "pj", "pj-i")
+
+
+def multi_way_join(
+    graph: Graph,
+    query_graph: QueryGraph,
+    node_sets: Sequence[Sequence[int]],
+    k: int,
+    algorithm: str = "pj-i",
+    aggregate: Aggregate = MIN,
+    m: int = 50,
+    params: Optional[DHTParams] = None,
+    d: Optional[int] = None,
+    epsilon: Optional[float] = None,
+    engine: Optional[WalkEngine] = None,
+) -> List[CandidateAnswer]:
+    """Top-``k`` n-way join over ``query_graph`` (Definition 4).
+
+    Parameters
+    ----------
+    algorithm:
+        ``"nl"``, ``"ap"``, ``"pj"``, or ``"pj-i"`` (default — the
+        paper's best).
+    aggregate:
+        Monotone ``f`` over per-edge DHT scores (default ``MIN``).
+    m:
+        Prefix length for ``PJ``/``PJ-i`` (ignored by ``NL``/``AP``).
+
+    Returns
+    -------
+    list of CandidateAnswer
+        At most ``k`` answers in descending aggregate-score order; each
+        carries its node tuple and per-edge DHT scores.
+    """
+    spec = NWayJoinSpec(
+        graph=graph,
+        query_graph=query_graph,
+        node_sets=[list(nodes) for nodes in node_sets],
+        k=k,
+        aggregate=aggregate,
+        params=params,
+        d=d,
+        epsilon=epsilon,
+        engine=engine,
+    )
+    name = algorithm.lower()
+    if name == "nl":
+        return NestedLoopJoin(spec).run()
+    if name == "ap":
+        return AllPairsJoin(spec).run()
+    if name == "pj":
+        return PartialJoin(spec, m=m).run()
+    if name == "pj-i":
+        return PartialJoinIncremental(spec, m=m).run()
+    raise GraphValidationError(
+        f"unknown n-way algorithm {algorithm!r}; choose from {_NWAY_ALGORITHMS}"
+    )

@@ -1,0 +1,19 @@
+"""Benchmark harness: timing, reporting, and shared workloads."""
+
+from repro.bench.harness import (
+    SeriesResult,
+    format_seconds,
+    print_kv_table,
+    print_sweep_table,
+    speedup,
+    time_call,
+)
+
+__all__ = [
+    "SeriesResult",
+    "format_seconds",
+    "print_kv_table",
+    "print_sweep_table",
+    "speedup",
+    "time_call",
+]

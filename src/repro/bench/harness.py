@@ -1,0 +1,122 @@
+"""Timing and reporting utilities for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure: it runs the
+relevant parameter sweep, collects :class:`SeriesResult` rows, and prints
+them in the same layout the paper reports (series per algorithm, one row
+per x value).  Absolute times are not comparable with the paper's C++
+testbed; EXPERIMENTS.md records the *shape* comparison.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class TimedRun:
+    """One measured configuration."""
+
+    x: object
+    seconds: float
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class SeriesResult:
+    """A named series (one algorithm) over a sweep."""
+
+    name: str
+    runs: List[TimedRun] = field(default_factory=list)
+
+    def add(self, x: object, seconds: float, **extra: object) -> None:
+        """Append one measurement."""
+        self.runs.append(TimedRun(x=x, seconds=seconds, extra=dict(extra)))
+
+    def seconds_at(self, x: object) -> Optional[float]:
+        """Time measured at sweep value ``x`` (``None`` if absent —
+        e.g. NL marked infeasible)."""
+        for run in self.runs:
+            if run.x == x:
+                return run.seconds
+        return None
+
+
+def time_call(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs.
+
+    The paper averages 10 runs per data point; we default to a median of
+    3 to keep the pure-Python reproduction tractable while damping
+    scheduler noise.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def speedup(slow: Optional[float], fast: Optional[float]) -> Optional[float]:
+    """``slow / fast``, or ``None`` when either side is missing."""
+    if slow is None or fast is None or fast <= 0:
+        return None
+    return slow / fast
+
+
+def format_seconds(seconds: Optional[float]) -> str:
+    """Human-oriented fixed-width time formatting (or ``--`` / ``inf``)."""
+    if seconds is None:
+        return "      --"
+    if math.isinf(seconds):
+        return "     inf"
+    if seconds >= 100:
+        return f"{seconds:8.1f}"
+    if seconds >= 1:
+        return f"{seconds:8.3f}"
+    return f"{seconds:8.4f}"
+
+
+def print_sweep_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[SeriesResult],
+    note: str = "",
+) -> str:
+    """Render a paper-style sweep table; returns (and prints) the text."""
+    lines = [f"== {title} =="]
+    if note:
+        lines.append(f"   {note}")
+    header = f"{x_label:>10} | " + " | ".join(f"{s.name:>10}" for s in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in x_values:
+        cells = []
+        for s in series:
+            cells.append(format_seconds(s.seconds_at(x)).rjust(10))
+        lines.append(f"{str(x):>10} | " + " | ".join(cells))
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def print_kv_table(title: str, rows: Dict[str, object], note: str = "") -> str:
+    """Render a simple key/value table (for AUC tables etc.)."""
+    lines = [f"== {title} =="]
+    if note:
+        lines.append(f"   {note}")
+    width = max(len(k) for k in rows) if rows else 1
+    for key, value in rows.items():
+        if isinstance(value, float):
+            lines.append(f"{key:<{width}} : {value:.4f}")
+        else:
+            lines.append(f"{key:<{width}} : {value}")
+    text = "\n".join(lines)
+    print(text)
+    return text

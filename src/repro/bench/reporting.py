@@ -1,0 +1,39 @@
+"""Session-level report registry for the benchmark suite.
+
+Benchmark modules register zero-arg reporter callables that print the
+paper-style sweep tables; the pytest session fixture in
+``benchmarks/conftest.py`` invokes :func:`print_all_reports` at the end
+of the run.  Living inside the installed package (rather than in a
+conftest) keeps the registry a singleton regardless of how pytest
+imports the benchmark modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+_REPORTERS: List[Callable[[], None]] = []
+
+
+def register_reporter(fn: Callable[[], None]) -> Callable[[], None]:
+    """Register a reporter; returns it unchanged (decorator-friendly)."""
+    _REPORTERS.append(fn)
+    return fn
+
+
+def print_all_reports() -> None:
+    """Run every registered reporter (idempotent per registration)."""
+    if not _REPORTERS:
+        return
+    print("\n")
+    print("#" * 72)
+    print("# Paper-reproduction sweep tables (recorded in EXPERIMENTS.md)")
+    print("#" * 72)
+    for reporter in _REPORTERS:
+        print()
+        reporter()
+
+
+def clear_reporters() -> None:
+    """Drop all registrations (used by unit tests of the harness)."""
+    _REPORTERS.clear()

@@ -1,0 +1,142 @@
+"""Shared benchmark workloads.
+
+Centralises the dataset instances and query constructions so every
+benchmark module (and EXPERIMENTS.md) uses identical inputs.  Datasets
+are generated once per process and memoised.
+
+Scale notes (see DESIGN.md section 4): the Yeast substitute runs at the
+paper's true scale (2.4k nodes); the DBLP and YouTube substitutes are
+scaled down for pure-Python benchmarking, which shrinks absolute times
+but preserves the algorithm ranking the paper reports.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.nway.query_graph import QueryGraph
+from repro.datasets.dblp import DBLPDataset, generate_dblp
+from repro.datasets.yeast import YeastDataset, generate_yeast
+from repro.datasets.youtube import YouTubeDataset, generate_youtube
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError
+
+
+@lru_cache(maxsize=1)
+def yeast() -> YeastDataset:
+    """The Yeast substitute at the paper's scale (2.4k / ~7k edges)."""
+    return generate_yeast(num_proteins=2400, seed=2014)
+
+
+@lru_cache(maxsize=1)
+def dblp() -> DBLPDataset:
+    """The DBLP substitute (3 areas x 1000 authors by default)."""
+    return generate_dblp(authors_per_area=1000, seed=2014)
+
+
+@lru_cache(maxsize=1)
+def dblp_small() -> DBLPDataset:
+    """A smaller DBLP instance for the expensive baselines."""
+    return generate_dblp(authors_per_area=300, seed=2014)
+
+
+@lru_cache(maxsize=1)
+def dblp_large() -> DBLPDataset:
+    """A larger DBLP instance (12k authors) for the pruning study.
+
+    The ``Y_l^+`` bound's pruning power depends on how much the walk
+    mass from ``P`` dilutes across the graph (Fig. 10(b) was measured on
+    the 188k-node real DBLP); this is the largest instance that keeps
+    the benchmark session fast.
+    """
+    return generate_dblp(authors_per_area=4000, seed=2014)
+
+
+@lru_cache(maxsize=1)
+def youtube() -> YouTubeDataset:
+    """The YouTube substitute (30k users)."""
+    return generate_youtube(num_users=30_000, seed=2014)
+
+
+@lru_cache(maxsize=1)
+def youtube_small() -> YouTubeDataset:
+    """A smaller YouTube instance for tests and quick benches."""
+    return generate_youtube(num_users=5_000, num_groups=20, seed=2014)
+
+
+def sample_node_sets(
+    universe: Sequence[int],
+    count: int,
+    size: int,
+    seed: int,
+) -> List[List[int]]:
+    """``count`` disjoint node sets of ``size`` nodes from ``universe``.
+
+    The efficiency experiments (Section VII-C) join synthetic node sets;
+    disjointness matches the paper's group semantics.
+    """
+    rng = np.random.default_rng(seed)
+    universe = list(universe)
+    if count * size > len(universe):
+        raise GraphValidationError(
+            f"cannot draw {count} x {size} disjoint nodes from {len(universe)}"
+        )
+    chosen = rng.choice(len(universe), size=count * size, replace=False)
+    return [
+        sorted(universe[int(i)] for i in chosen[c * size : (c + 1) * size])
+        for c in range(count)
+    ]
+
+
+def yeast_node_sets(count: int, size: int = 50, seed: int = 7) -> List[List[int]]:
+    """Disjoint node sets drawn from the Yeast graph."""
+    data = yeast()
+    return sample_node_sets(range(data.graph.num_nodes), count, size, seed)
+
+
+def dblp_node_sets(count: int, size: int = 50, seed: int = 7) -> List[List[int]]:
+    """Disjoint node sets drawn from the DBLP graph."""
+    data = dblp()
+    return sample_node_sets(range(data.graph.num_nodes), count, size, seed)
+
+
+def query_graph_with_edges(num_edges: int) -> QueryGraph:
+    """3-vertex query graphs with ``|E_Q| = 2 .. 6`` (Fig. 7(b)/8(b)).
+
+    * 2: chain ``R1 -> R2 -> R3``
+    * 3: directed 3-cycle
+    * 4: cycle plus one reverse edge
+    * 5: cycle plus two reverse edges
+    * 6: fully bidirectional triangle
+    """
+    base = [(0, 1), (1, 2)]
+    extras = [(2, 0), (1, 0), (2, 1), (0, 2)]
+    if not (2 <= num_edges <= 6):
+        raise GraphValidationError(f"|E_Q| must be in [2, 6], got {num_edges}")
+    return QueryGraph(3, base + extras[: num_edges - 2])
+
+
+def link_prediction_sets(
+    dataset: str,
+) -> Tuple[Graph, List[int], List[int]]:
+    """The (graph, P, Q) the paper uses for link prediction per dataset.
+
+    * DBLP: the DB and AI areas;
+    * Yeast: partitions 3-U and 8-D (the two largest);
+    * YouTube: groups 1 and 5.
+    """
+    name = dataset.lower()
+    if name == "dblp":
+        data = dblp()
+        return data.graph, data.areas["DB"], data.areas["AI"]
+    if name == "yeast":
+        data = yeast()
+        left, right = data.largest_pair
+        return data.graph, left, right
+    if name == "youtube":
+        data = youtube_small()
+        return data.graph, data.group(1), data.group(5)
+    raise GraphValidationError(f"unknown dataset {dataset!r}")

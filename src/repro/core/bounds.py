@@ -1,0 +1,129 @@
+"""Upper bounds on DHT scores — Section VI-C of the paper.
+
+Both backward iterative-deepening joins bound the final score
+``h_d(p, q)`` by ``h_l(p, q) + U_l^+`` after an ``l``-step walk:
+
+* :class:`XBound` — Lemma 2's closed-form geometric tail
+  ``X_l^+ = alpha * lambda^{l+1} / (1 - lambda)``.  Cheap, but loose:
+  it assumes every remaining step hits with probability 1.
+* :class:`YBound` — Theorem 1's data-dependent tail
+  ``Y_l^+(P, q) = alpha * sum_{i=l+1}^{d} lambda^i min(sum_p S_i(p, q), 1)``
+  built from the *unrestricted* reach probabilities ``S_i`` (Lemmas 3-4).
+  One ``O(d |E_G|)`` propagation from the whole set ``P`` precomputes the
+  bound for every ``q`` and every ``l`` (suffix sums).
+
+Lemma 5 guarantees ``Y_l^+(P, q) <= X_l^+`` — the Y bound always prunes at
+least as well; the property tests verify this, and Fig. 10(b)'s benchmark
+measures how much it matters.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.dht import DHTParams
+from repro.walks.engine import WalkEngine
+
+
+class ScoreUpperBound(Protocol):
+    """Tail bound interface shared by X and Y bounds.
+
+    ``tail(l, q)`` returns ``U_l^+`` such that
+    ``h_d(p, q) <= h_l(p, q) + U_l^+`` for every ``p`` in the join's left
+    set.  ``q`` is a *graph* node id (only the Y bound actually uses it).
+    """
+
+    name: str
+
+    def tail(self, l: int, q: int) -> float:
+        """Upper bound on the score contribution of steps ``l+1 .. d``."""
+        ...
+
+
+class XBound:
+    """Lemma 2: ``X_l^+ = alpha * lambda^{l+1} / (1 - lambda)``.
+
+    Independent of the data and of ``q``; ``O(1)`` per query after a
+    trivial precomputation of the powers.
+    """
+
+    name = "X"
+
+    def __init__(self, params: DHTParams, d: int) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self._d = d
+        scale = params.alpha / (1.0 - params.decay)
+        self._tails = scale * params.decay ** np.arange(1, d + 2)
+        # _tails[l] == alpha * lambda^{l+1} / (1-lambda) for l = 0..d
+
+    @property
+    def d(self) -> int:
+        """Walk length the bound was built for."""
+        return self._d
+
+    def tail(self, l: int, q: int = -1) -> float:
+        """``X_l^+``; valid for any ``q`` (argument ignored)."""
+        if not (0 <= l <= self._d):
+            raise ValueError(f"l must be in [0, {self._d}], got {l}")
+        return float(self._tails[l])
+
+
+class YBound:
+    """Theorem 1: reach-mass tail ``Y_l^+(P, q)``.
+
+    Parameters
+    ----------
+    engine:
+        Walk engine for the join's graph.
+    params:
+        DHT coefficients.
+    sources:
+        The left node set ``P`` of the 2-way join.
+    d:
+        Full walk length.
+
+    Notes
+    -----
+    The constructor runs one ``d``-step unrestricted propagation from all
+    of ``P`` (cost ``O(d |E_G|)``), caches
+    ``c_i(q) = alpha * lambda^i * min(sum_p S_i(p, q), 1)`` for the whole
+    graph, and serves ``Y_l^+(P, q) = sum_{i > l} c_i(q)`` from suffix
+    sums — ``O(1)`` per ``(l, q)`` query, ``O(d |V_G|)`` memory, matching
+    the complexity stated in Section VI-C.
+    """
+
+    name = "Y"
+
+    def __init__(
+        self,
+        engine: WalkEngine,
+        params: DHTParams,
+        sources: Sequence[int],
+        d: int,
+    ) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self._d = d
+        reach = engine.reach_mass_series(sources, d)  # (d, n)
+        capped = np.minimum(reach, 1.0)
+        weights = (params.alpha * params.decay ** np.arange(1, d + 1))[:, None]
+        contributions = capped * weights  # c_i(q), shape (d, n)
+        # suffix[l, q] = sum_{i = l+1 .. d} c_i(q), for l = 0..d
+        n = reach.shape[1]
+        suffix = np.zeros((d + 1, n), dtype=np.float64)
+        suffix[:d] = np.cumsum(contributions[::-1], axis=0)[::-1]
+        self._suffix = suffix
+
+    @property
+    def d(self) -> int:
+        """Walk length the bound was built for."""
+        return self._d
+
+    def tail(self, l: int, q: int) -> float:
+        """``Y_l^+(P, q)`` for graph node ``q``."""
+        if not (0 <= l <= self._d):
+            raise ValueError(f"l must be in [0, {self._d}], got {l}")
+        return float(self._suffix[l, q])

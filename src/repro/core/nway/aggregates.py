@@ -1,0 +1,109 @@
+"""Monotone aggregate functions over per-edge DHT scores (Definition 2).
+
+The aggregate score of a candidate answer applies ``f`` to the ``|E_Q|``
+DHT scores of its query-graph edges.  ``f`` must be monotone
+non-decreasing in every argument — this is what makes the HRJN corner
+bound valid.  The paper's experiments use ``MIN`` (default) and mention
+``SUM``; ``MAX`` and ``AVG`` are provided because they are also monotone
+and exercise different tie structures in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+
+class Aggregate(Protocol):
+    """A monotone aggregate: maps edge-score vectors to a total score."""
+
+    name: str
+
+    def __call__(self, scores: Sequence[float]) -> float:
+        """Aggregate the per-edge scores (order matches ``E_Q``)."""
+        ...
+
+
+class SumAggregate:
+    """``SUM``: overall closeness of the answer's node pairs."""
+
+    name = "SUM"
+
+    def __call__(self, scores: Sequence[float]) -> float:
+        return float(sum(scores))
+
+
+class MinAggregate:
+    """``MIN``: the weakest link among the answer's node pairs.
+
+    The paper's default (Section VII-A): an answer is only as good as its
+    least-similar pair.
+    """
+
+    name = "MIN"
+
+    def __call__(self, scores: Sequence[float]) -> float:
+        return float(min(scores))
+
+
+class MaxAggregate:
+    """``MAX``: the strongest link (monotone, mostly useful in tests)."""
+
+    name = "MAX"
+
+    def __call__(self, scores: Sequence[float]) -> float:
+        return float(max(scores))
+
+
+class AverageAggregate:
+    """``AVG``: SUM scaled by ``1/|E_Q|`` — same ranking as SUM for a
+    fixed query graph, kept for API completeness."""
+
+    name = "AVG"
+
+    def __call__(self, scores: Sequence[float]) -> float:
+        values = list(scores)
+        return float(sum(values) / len(values))
+
+
+SUM = SumAggregate()
+MIN = MinAggregate()
+MAX = MaxAggregate()
+AVG = AverageAggregate()
+
+_BY_NAME = {agg.name: agg for agg in (SUM, MIN, MAX, AVG)}
+
+
+def aggregate_by_name(name: str) -> Aggregate:
+    """Look up a built-in aggregate by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregate {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+
+
+def check_monotone(
+    aggregate: Aggregate,
+    arity: int,
+    rng: np.random.Generator,
+    trials: int = 64,
+    low: float = -5.0,
+    high: float = 5.0,
+) -> bool:
+    """Spot-check that ``aggregate`` is monotone non-decreasing.
+
+    Samples random score vectors, bumps one coordinate upward, and checks
+    the aggregate does not decrease.  Used by tests and by defensive
+    validation when a user supplies a custom ``f``.
+    """
+    for _ in range(trials):
+        base = rng.uniform(low, high, size=arity)
+        bumped = base.copy()
+        coordinate = int(rng.integers(0, arity))
+        bumped[coordinate] += float(rng.uniform(0.0, high - low))
+        if aggregate(list(bumped)) < aggregate(list(base)) - 1e-12:
+            return False
+    return True

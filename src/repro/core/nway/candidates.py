@@ -1,0 +1,144 @@
+"""Candidate buffers and partial-answer expansion (Fig. 4 / Algorithm 1).
+
+During a rank join, every pair pulled from an edge's 2-way join is kept
+in that edge's *candidate buffer* ``C``.  When a new pair ``(r_i, r_j)``
+arrives on edge ``e``, ``getCandidate`` assembles every complete
+candidate answer that uses the new pair on ``e`` and otherwise only pairs
+already buffered — generating each answer exactly once across the whole
+run (an answer materialises at the moment its last constituent pair is
+pulled).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.core.nway.aggregates import Aggregate
+from repro.core.nway.query_graph import QueryGraph
+from repro.core.two_way.base import ScoredPair
+
+
+class CandidateAnswer(NamedTuple):
+    """A complete n-tuple with its aggregate and per-edge scores."""
+
+    nodes: Tuple[int, ...]
+    score: float
+    edge_scores: Tuple[float, ...]
+
+
+class CandidateBuffer:
+    """Buffer ``C`` for one query edge, indexed by both endpoints.
+
+    The paper describes ``C`` as a 2D array ``|R_i| x |R_j|``; we use
+    hash indexes instead so that lookup by either endpoint is ``O(1)`` in
+    the number of matches, independent of set sizes.
+    """
+
+    def __init__(self) -> None:
+        self._score: Dict[Tuple[int, int], float] = {}
+        self._by_left: Dict[int, List[Tuple[int, float]]] = {}
+        self._by_right: Dict[int, List[Tuple[int, float]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._score)
+
+    def add(self, pair: ScoredPair) -> None:
+        """Insert a pulled pair (idempotent inserts are rejected upstream
+        by the sorted-stream contract, so no dedup here)."""
+        key = (pair.left, pair.right)
+        self._score[key] = pair.score
+        self._by_left.setdefault(pair.left, []).append((pair.right, pair.score))
+        self._by_right.setdefault(pair.right, []).append((pair.left, pair.score))
+
+    def score_of(self, left: int, right: int) -> Optional[float]:
+        """Buffered score of ``(left, right)``, or ``None`` if absent."""
+        return self._score.get((left, right))
+
+    def rights_for(self, left: int) -> List[Tuple[int, float]]:
+        """All buffered ``(right, score)`` partners of ``left``."""
+        return self._by_left.get(left, [])
+
+    def lefts_for(self, right: int) -> List[Tuple[int, float]]:
+        """All buffered ``(left, score)`` partners of ``right``."""
+        return self._by_right.get(right, [])
+
+
+class CandidateGenerator:
+    """``getCandidate``: expand a new pair into complete answers.
+
+    Holds one :class:`CandidateBuffer` per query edge and the query
+    graph's cached expansion orders.
+    """
+
+    def __init__(self, query_graph: QueryGraph, aggregate: Aggregate) -> None:
+        self._query = query_graph
+        self._aggregate = aggregate
+        self._buffers = [CandidateBuffer() for _ in query_graph.edges]
+        self._edge_list = query_graph.edges
+
+    def buffer(self, edge_index: int) -> CandidateBuffer:
+        """The candidate buffer of edge ``edge_index``."""
+        return self._buffers[edge_index]
+
+    def on_new_pair(self, edge_index: int, pair: ScoredPair) -> List[CandidateAnswer]:
+        """Buffer the pair and return every newly completable answer.
+
+        Implements Fig. 4: seed a partial assignment with the new pair's
+        endpoints, then grow it along the cached expansion order, binding
+        unbound vertices from buffer lookups and checking already-bound
+        ones against buffered pairs.
+        """
+        self._buffers[edge_index].add(pair)
+        i, j = self._edge_list[edge_index]
+        assignment: Dict[int, int] = {i: pair.left, j: pair.right}
+        order = self._query.expansion_order(edge_index)
+        edge_scores: Dict[int, float] = {edge_index: pair.score}
+        results: List[CandidateAnswer] = []
+        self._expand(order, 0, assignment, edge_scores, results)
+        return results
+
+    def _expand(
+        self,
+        order: List[int],
+        depth: int,
+        assignment: Dict[int, int],
+        edge_scores: Dict[int, float],
+        results: List[CandidateAnswer],
+    ) -> None:
+        if depth == len(order):
+            nodes = tuple(assignment[v] for v in range(self._query.num_vertices))
+            ordered_scores = tuple(
+                edge_scores[e] for e in range(len(self._edge_list))
+            )
+            results.append(
+                CandidateAnswer(nodes, self._aggregate(ordered_scores), ordered_scores)
+            )
+            return
+        edge = order[depth]
+        i, j = self._edge_list[edge]
+        buffer = self._buffers[edge]
+        left_bound = i in assignment
+        right_bound = j in assignment
+        if left_bound and right_bound:
+            score = buffer.score_of(assignment[i], assignment[j])
+            if score is None:
+                return  # dead end: required pair not buffered yet
+            edge_scores[edge] = score
+            self._expand(order, depth + 1, assignment, edge_scores, results)
+            del edge_scores[edge]
+        elif left_bound:
+            for right, score in list(buffer.rights_for(assignment[i])):
+                assignment[j] = right
+                edge_scores[edge] = score
+                self._expand(order, depth + 1, assignment, edge_scores, results)
+                del edge_scores[edge]
+                del assignment[j]
+        elif right_bound:
+            for left, score in list(buffer.lefts_for(assignment[j])):
+                assignment[i] = left
+                edge_scores[edge] = score
+                self._expand(order, depth + 1, assignment, edge_scores, results)
+                del edge_scores[edge]
+                del assignment[i]
+        else:  # pragma: no cover - expansion order guarantees a bound endpoint
+            raise AssertionError("expansion order left an edge unanchored")

@@ -1,0 +1,106 @@
+"""The Incremental Partial Join ``PJ-i`` (Section VI-D).
+
+Identical rank-join structure to ``PJ``, but each query edge keeps an
+:class:`~repro.core.two_way.incremental.IncrementalTwoWayJoin`: the
+top-``m`` prefix is computed by a ``B-IDJ`` instrumented to retain its
+bound information in the ``F`` structure, and every later
+``getNextNodePair`` is answered by refining ``F`` instead of re-running a
+join from scratch.  This is the paper's best n-way algorithm (up to 50x
+faster than ``PJ``; two orders of magnitude at ``k = 200``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.nway.candidates import CandidateAnswer
+from repro.core.nway.spec import NWayJoinSpec
+from repro.core.two_way.backward import x_bound_factory, y_bound_factory
+from repro.core.two_way.base import TwoWayContext
+from repro.core.two_way.incremental import IncrementalTwoWayJoin
+from repro.graph.validation import GraphValidationError
+from repro.rankjoin.inputs import LazyInput
+from repro.rankjoin.pbrj import PBRJ
+
+_BOUND_FACTORIES = {
+    "x": x_bound_factory,
+    "y": y_bound_factory,
+}
+
+
+@dataclass
+class PartialJoinIncStats:
+    """Instrumentation of one ``PJ-i`` run."""
+
+    next_pair_calls: int = 0
+    rank_join_pulls: int = 0
+    pulls_per_edge: List[int] = field(default_factory=list)
+
+
+class PartialJoinIncremental:
+    """``PJ-i``: top-``m`` prefixes + PBRJ + F-structure refills.
+
+    Parameters
+    ----------
+    spec:
+        The validated join inputs.
+    m:
+        Per-edge prefix length (default 50, the paper's setting).
+    bound:
+        Upper-bound flavour for the underlying ``B-IDJ``; ``"y"``
+        (default, the paper's choice) or ``"x"``.
+    """
+
+    name = "PJ-i"
+
+    def __init__(self, spec: NWayJoinSpec, m: int = 50, bound: str = "y") -> None:
+        if m < 0:
+            raise GraphValidationError(f"m must be >= 0, got {m}")
+        try:
+            self._bound_factory = _BOUND_FACTORIES[bound.lower()]
+        except KeyError:
+            raise GraphValidationError(
+                f"unknown bound {bound!r}; choose from {sorted(_BOUND_FACTORIES)}"
+            ) from None
+        self._spec = spec
+        self._m = m
+        self.stats = PartialJoinIncStats()
+
+    def run(self) -> List[CandidateAnswer]:
+        """Execute ``PJ-i`` and return the top-``k`` answers."""
+        spec = self._spec
+        if spec.k == 0:
+            return []
+        inputs = []
+        joins = []
+        for e in range(spec.query_graph.num_edges):
+            left, right = spec.edge_node_sets(e)
+            context = TwoWayContext(
+                graph=spec.graph,
+                params=spec.params,
+                left=list(left),
+                right=list(right),
+                d=spec.d,
+                engine=spec.engine,
+            )
+            join = IncrementalTwoWayJoin(context, bound_factory=self._bound_factory)
+            joins.append(join)
+            inputs.append(
+                LazyInput(
+                    join.top(self._m),
+                    refill=join.next_pair,
+                    name=spec.query_graph.edge_name(e),
+                )
+            )
+        driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+        answers = driver.run()
+        self.stats.next_pair_calls = sum(inp.refill_calls for inp in inputs)
+        self.stats.rank_join_pulls = driver.stats.pulls
+        self.stats.pulls_per_edge = driver.stats.pulls_per_edge
+        return answers
+
+
+def partial_join_incremental(spec: NWayJoinSpec, m: int = 50, bound: str = "y"):
+    """Convenience: run ``PJ-i`` on a spec and return its answers."""
+    return PartialJoinIncremental(spec, m=m, bound=bound).run()

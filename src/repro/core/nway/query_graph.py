@@ -1,0 +1,264 @@
+"""The query graph ``Q`` (Definition 1) and its standard shapes.
+
+A query graph is a small directed graph whose vertices stand for node
+sets ``R_1 .. R_n`` of the data graph; each directed edge ``(R_i, R_j)``
+contributes the DHT score ``h(r_i, r_j)`` to the aggregate.  DHT is
+asymmetric, so edge direction matters; the paper draws an undirected line
+for the bidirectional pair ``(R_i -> R_j, R_j -> R_i)`` (footnote 2).
+
+The evaluation uses four shapes (Fig. 2): chains, triangles, stars, and
+(for the ``|E_Q|`` sweep) denser graphs up to cliques; all are available
+as constructors here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.validation import GraphValidationError
+
+QueryEdge = Tuple[int, int]
+
+
+class QueryGraph:
+    """An unweighted directed query graph over node-set vertices.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of node sets ``n >= 2``.
+    edges:
+        Directed vertex pairs.  Both directions between the same vertices
+        are allowed (and are distinct edges); duplicate directed edges and
+        self-loops are not.
+    names:
+        Optional display names per vertex (e.g. ``["DB", "AI", "SYS"]``).
+
+    Raises
+    ------
+    GraphValidationError
+        If the graph is empty, has invalid/duplicate edges, leaves a
+        vertex untouched, or is disconnected — candidate answers of a
+        disconnected query cannot be assembled edge-by-edge, and the
+        paper's queries are all connected.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Sequence[QueryEdge],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_vertices < 2:
+            raise GraphValidationError(
+                f"a query graph needs >= 2 vertices, got {num_vertices}"
+            )
+        self._num_vertices = int(num_vertices)
+        seen = set()
+        self._edges: List[QueryEdge] = []
+        for edge in edges:
+            i, j = int(edge[0]), int(edge[1])
+            if not (0 <= i < num_vertices and 0 <= j < num_vertices):
+                raise GraphValidationError(f"query edge ({i}, {j}) out of range")
+            if i == j:
+                raise GraphValidationError(f"query self-loop on vertex {i}")
+            if (i, j) in seen:
+                raise GraphValidationError(f"duplicate query edge ({i}, {j})")
+            seen.add((i, j))
+            self._edges.append((i, j))
+        if not self._edges:
+            raise GraphValidationError("a query graph needs at least one edge")
+        if names is not None:
+            names = list(names)
+            if len(names) != num_vertices:
+                raise GraphValidationError(
+                    f"{len(names)} names for {num_vertices} vertices"
+                )
+        self._names = names
+        self._check_coverage_and_connectivity()
+        self._expansion_cache: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of node-set vertices ``n``."""
+        return self._num_vertices
+
+    @property
+    def edges(self) -> List[QueryEdge]:
+        """The directed edges, in insertion order (input/list order)."""
+        return list(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E_Q|``."""
+        return len(self._edges)
+
+    def name(self, vertex: int) -> str:
+        """Display name of a vertex (falls back to ``R{i+1}``)."""
+        if self._names is not None:
+            return self._names[vertex]
+        return f"R{vertex + 1}"
+
+    def edge_name(self, index: int) -> str:
+        """Display name of edge ``index``, e.g. ``"DB->AI"``."""
+        i, j = self._edges[index]
+        return f"{self.name(i)}->{self.name(j)}"
+
+    # ------------------------------------------------------------------
+    # Expansion orders for candidate generation
+    # ------------------------------------------------------------------
+
+    def expansion_order(self, start_edge: int) -> List[int]:
+        """Edge indices ordered so each edge touches an assigned vertex.
+
+        Candidate generation (Fig. 4) starts from a freshly pulled pair on
+        ``start_edge`` and grows the partial answer one edge at a time;
+        the order guarantees every expanded edge has at least one endpoint
+        already bound.  Connectivity (validated in the constructor) makes
+        such an order exist; results are cached per start edge.
+        """
+        if not (0 <= start_edge < len(self._edges)):
+            raise GraphValidationError(f"edge index {start_edge} out of range")
+        cached = self._expansion_cache.get(start_edge)
+        if cached is not None:
+            return list(cached)
+        assigned = set(self._edges[start_edge])
+        remaining = [e for e in range(len(self._edges)) if e != start_edge]
+        order: List[int] = []
+        while remaining:
+            progressed = False
+            for idx, e in enumerate(remaining):
+                i, j = self._edges[e]
+                if i in assigned or j in assigned:
+                    order.append(e)
+                    assigned.update((i, j))
+                    remaining.pop(idx)
+                    progressed = True
+                    break
+            if not progressed:  # pragma: no cover - connectivity guarantees
+                raise GraphValidationError("query graph is disconnected")
+        self._expansion_cache[start_edge] = order
+        return list(order)
+
+    # ------------------------------------------------------------------
+    # Standard shapes (Fig. 2)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def chain(
+        cls,
+        n: int,
+        bidirectional: bool = False,
+        names: Optional[Sequence[str]] = None,
+    ) -> "QueryGraph":
+        """``R1 -> R2 -> ... -> Rn`` (Fig. 2(b)); the efficiency
+        experiments' default shape (Section VII-C)."""
+        edges: List[QueryEdge] = []
+        for i in range(n - 1):
+            edges.append((i, i + 1))
+            if bidirectional:
+                edges.append((i + 1, i))
+        return cls(n, edges, names=names)
+
+    @classmethod
+    def cycle(
+        cls,
+        n: int,
+        bidirectional: bool = False,
+        names: Optional[Sequence[str]] = None,
+    ) -> "QueryGraph":
+        """``R1 -> R2 -> ... -> Rn -> R1``."""
+        if n < 3:
+            raise GraphValidationError(f"cycle needs >= 3 vertices, got {n}")
+        edges: List[QueryEdge] = []
+        for i in range(n):
+            j = (i + 1) % n
+            edges.append((i, j))
+            if bidirectional:
+                edges.append((j, i))
+        return cls(n, edges, names=names)
+
+    @classmethod
+    def triangle(
+        cls,
+        bidirectional: bool = True,
+        names: Optional[Sequence[str]] = None,
+    ) -> "QueryGraph":
+        """The 3-clique of Fig. 2(a).
+
+        Following footnote 2, the paper's drawn triangle lines denote
+        both directions, hence ``bidirectional=True`` by default.
+        """
+        return cls.cycle(3, bidirectional=bidirectional, names=names)
+
+    @classmethod
+    def star(
+        cls,
+        n_satellites: int,
+        bidirectional: bool = True,
+        names: Optional[Sequence[str]] = None,
+    ) -> "QueryGraph":
+        """Star with the centre at vertex 0 (Fig. 2(c)).
+
+        Example 4's 6-way join is ``star(5)`` with the photography group
+        at the centre.
+        """
+        if n_satellites < 1:
+            raise GraphValidationError("star needs >= 1 satellite")
+        edges: List[QueryEdge] = []
+        for leaf in range(1, n_satellites + 1):
+            edges.append((0, leaf))
+            if bidirectional:
+                edges.append((leaf, 0))
+        return cls(n_satellites + 1, edges, names=names)
+
+    @classmethod
+    def clique(
+        cls,
+        n: int,
+        bidirectional: bool = False,
+        names: Optional[Sequence[str]] = None,
+    ) -> "QueryGraph":
+        """All ordered (or all unordered, if not bidirectional) pairs."""
+        edges: List[QueryEdge] = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                edges.append((i, j))
+                if bidirectional:
+                    edges.append((j, i))
+        return cls(n, edges, names=names)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_coverage_and_connectivity(self) -> None:
+        adjacency: List[set] = [set() for _ in range(self._num_vertices)]
+        touched = set()
+        for i, j in self._edges:
+            adjacency[i].add(j)
+            adjacency[j].add(i)
+            touched.update((i, j))
+        if touched != set(range(self._num_vertices)):
+            missing = sorted(set(range(self._num_vertices)) - touched)
+            raise GraphValidationError(
+                f"query vertices {missing} have no incident edges"
+            )
+        # BFS from vertex 0 over the undirected skeleton.
+        frontier = [0]
+        visited = {0}
+        while frontier:
+            u = frontier.pop()
+            for v in adjacency[u]:
+                if v not in visited:
+                    visited.add(v)
+                    frontier.append(v)
+        if visited != set(range(self._num_vertices)):
+            raise GraphValidationError("query graph must be connected")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryGraph(num_vertices={self._num_vertices}, edges={self._edges})"

@@ -1,0 +1,76 @@
+"""Shared validation and typing for n-way joins (Definitions 1–4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.dht import DHTParams
+from repro.core.nway.aggregates import MIN, Aggregate
+from repro.core.nway.query_graph import QueryGraph
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError, validate_node_set
+from repro.walks.engine import WalkEngine
+
+
+@dataclass
+class NWayJoinSpec:
+    """Validated inputs of one n-way join.
+
+    Attributes
+    ----------
+    graph:
+        The data graph ``G``.
+    query_graph:
+        ``Q`` (Definition 1); vertex ``i`` corresponds to
+        ``node_sets[i]``.
+    node_sets:
+        One node set per query vertex.
+    aggregate:
+        Monotone ``f`` (Definition 2); defaults to ``MIN``, the paper's
+        experimental default.
+    k:
+        Number of answers (Definition 4).
+    params / d / epsilon:
+        DHT configuration; defaults to ``DHT_lambda(0.2)`` with
+        ``epsilon = 1e-6`` (``d = 8``), matching Section VII-A.
+    """
+
+    graph: Graph
+    query_graph: QueryGraph
+    node_sets: List[List[int]]
+    k: int
+    aggregate: Aggregate = MIN
+    params: DHTParams = None  # type: ignore[assignment]
+    d: Optional[int] = None
+    epsilon: Optional[float] = None
+    engine: WalkEngine = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.params is None:
+            self.params = DHTParams.dht_lambda(0.2)
+        if self.d is not None and self.epsilon is not None:
+            raise GraphValidationError("pass either d or epsilon, not both")
+        if self.d is None:
+            eps = self.epsilon if self.epsilon is not None else 1e-6
+            self.d = self.params.steps_for_epsilon(eps)
+        if self.d < 1:
+            raise GraphValidationError(f"d must be >= 1, got {self.d}")
+        if self.k < 0:
+            raise GraphValidationError(f"k must be >= 0, got {self.k}")
+        if len(self.node_sets) != self.query_graph.num_vertices:
+            raise GraphValidationError(
+                f"{len(self.node_sets)} node sets for "
+                f"{self.query_graph.num_vertices} query vertices"
+            )
+        self.node_sets = [
+            validate_node_set(self.graph.num_nodes, nodes, f"node set {i}")
+            for i, nodes in enumerate(self.node_sets)
+        ]
+        if self.engine is None:
+            self.engine = WalkEngine(self.graph)
+
+    def edge_node_sets(self, edge_index: int) -> tuple:
+        """The (left, right) node sets of query edge ``edge_index``."""
+        i, j = self.query_graph.edges[edge_index]
+        return self.node_sets[i], self.node_sets[j]

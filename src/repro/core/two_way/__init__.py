@@ -1,0 +1,27 @@
+"""2-way joins over DHT: forward, backward, and incremental algorithms."""
+
+from repro.core.two_way.backward import (
+    BackwardBasicJoin,
+    BackwardIDJ,
+    BackwardIDJX,
+    BackwardIDJY,
+    back_walk,
+)
+from repro.core.two_way.base import ScoredPair, TwoWayContext, make_context
+from repro.core.two_way.forward import ForwardBasicJoin, ForwardIDJ
+from repro.core.two_way.incremental import FStructure, IncrementalTwoWayJoin
+
+__all__ = [
+    "BackwardBasicJoin",
+    "BackwardIDJ",
+    "BackwardIDJX",
+    "BackwardIDJY",
+    "ForwardBasicJoin",
+    "ForwardIDJ",
+    "FStructure",
+    "IncrementalTwoWayJoin",
+    "ScoredPair",
+    "TwoWayContext",
+    "back_walk",
+    "make_context",
+]

@@ -1,0 +1,126 @@
+"""Shared types for 2-way joins over DHT.
+
+A 2-way join (Section V) takes node sets ``P`` (left) and ``Q`` (right)
+and returns the ``k`` pairs ``(p, q)`` with the highest truncated DHT
+scores ``h_d(p, q)``.  All five algorithms in the paper — ``F-BJ``,
+``F-IDJ``, ``B-BJ``, ``B-IDJ-X``, ``B-IDJ-Y`` — share the
+:class:`TwoWayContext` prepared here and return identical results; they
+differ only in how much work they avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dht import DHTParams
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError, validate_node_set
+from repro.walks.engine import WalkEngine
+
+
+class ScoredPair(NamedTuple):
+    """A join result: left node, right node, truncated DHT score."""
+
+    left: int
+    right: int
+    score: float
+
+
+def sort_pairs(pairs: Sequence[ScoredPair]) -> List[ScoredPair]:
+    """Sort pairs by descending score; ties broken by ``(left, right)``.
+
+    The deterministic tie-break makes every algorithm return the same
+    *sequence*, not just the same score multiset, which the equivalence
+    tests rely on.
+    """
+    return sorted(pairs, key=lambda sp: (-sp.score, sp.left, sp.right))
+
+
+def top_k_pairs(pairs: Sequence[ScoredPair], k: int) -> List[ScoredPair]:
+    """The ``k`` highest-scoring pairs in descending order."""
+    if k < 0:
+        raise GraphValidationError(f"k must be >= 0, got {k}")
+    return sort_pairs(pairs)[:k]
+
+
+@dataclass
+class TwoWayContext:
+    """Validated inputs shared by every 2-way join algorithm.
+
+    Attributes
+    ----------
+    graph / engine:
+        The data graph and its walk engine (engine is created on demand
+        and may be shared across joins on the same graph).
+    params:
+        DHT coefficients (general form).
+    left / right:
+        The node sets ``P`` and ``Q``.  Overlap is allowed; reflexive
+        pairs ``(v, v)`` are excluded from results (``h(v, v) = 0`` by
+        convention and is not a similarity between distinct entities).
+    d:
+        Truncation depth (Eq. 4), typically from
+        :meth:`repro.core.dht.DHTParams.steps_for_epsilon`.
+    """
+
+    graph: Graph
+    params: DHTParams
+    left: List[int]
+    right: List[int]
+    d: int
+    engine: WalkEngine = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.left = validate_node_set(self.graph.num_nodes, self.left, "left node set")
+        self.right = validate_node_set(self.graph.num_nodes, self.right, "right node set")
+        if self.d < 1:
+            raise GraphValidationError(f"d must be >= 1, got {self.d}")
+        if self.engine is None:
+            self.engine = WalkEngine(self.graph)
+        self._left_array = np.asarray(self.left, dtype=np.int64)
+
+    @property
+    def left_array(self) -> np.ndarray:
+        """``P`` as an int64 array (for vectorised score gathering)."""
+        return self._left_array
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of candidate pairs, excluding reflexive ones."""
+        overlap = len(set(self.left) & set(self.right))
+        return len(self.left) * len(self.right) - overlap
+
+    def pairs_for_target(self, scores: np.ndarray, q: int) -> List[ScoredPair]:
+        """Materialise ``(p, q, scores[p])`` for every valid ``p``."""
+        return [
+            ScoredPair(int(p), q, float(scores[p])) for p in self.left if p != q
+        ]
+
+
+def make_context(
+    graph: Graph,
+    left: Sequence[int],
+    right: Sequence[int],
+    params: Optional[DHTParams] = None,
+    d: Optional[int] = None,
+    epsilon: Optional[float] = None,
+    engine: Optional[WalkEngine] = None,
+) -> TwoWayContext:
+    """Build a :class:`TwoWayContext` with the paper's defaults.
+
+    Defaults follow Section VII-A: ``DHT_lambda`` with ``lambda = 0.2``
+    and ``epsilon = 1e-6`` (which yields ``d = 8``).  Pass either ``d``
+    directly or an ``epsilon`` to derive it via Lemma 1 — not both.
+    """
+    params = params if params is not None else DHTParams.dht_lambda(0.2)
+    if d is not None and epsilon is not None:
+        raise GraphValidationError("pass either d or epsilon, not both")
+    if d is None:
+        d = params.steps_for_epsilon(epsilon if epsilon is not None else 1e-6)
+    return TwoWayContext(
+        graph=graph, params=params, left=list(left), right=list(right), d=d,
+        engine=engine,
+    )

@@ -1,0 +1,24 @@
+"""Dataset substitutes for the paper's three evaluation graphs."""
+
+from repro.datasets.dblp import DBLPDataset, generate_dblp
+from repro.datasets.splits import (
+    CliqueSplit,
+    LinkSplit,
+    remove_edge_per_clique,
+    remove_random_cross_edges,
+)
+from repro.datasets.yeast import YeastDataset, generate_yeast
+from repro.datasets.youtube import YouTubeDataset, generate_youtube
+
+__all__ = [
+    "CliqueSplit",
+    "DBLPDataset",
+    "LinkSplit",
+    "YeastDataset",
+    "YouTubeDataset",
+    "generate_dblp",
+    "generate_yeast",
+    "generate_youtube",
+    "remove_edge_per_clique",
+    "remove_random_cross_edges",
+]

@@ -1,0 +1,141 @@
+"""Train/test graph derivation for the effectiveness experiments
+(Section VII-B).
+
+The paper distinguishes the *true* graph ``G`` from a *test* graph ``T``
+on which joins are executed:
+
+* **DBLP**: ``T`` keeps only pre-cutoff edges (handled by
+  :meth:`repro.datasets.dblp.DBLPDataset.snapshot_before`);
+* **Yeast / YouTube link prediction**: ``T`` removes a random half of the
+  edges between the two query node sets;
+* **3-clique prediction**: ``T`` removes one random edge from each
+  cross-set 3-clique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError
+
+Pair = Tuple[int, int]
+Triple = Tuple[int, int, int]
+
+
+@dataclass
+class LinkSplit:
+    """A link-prediction split: test graph + the held-out cross pairs."""
+
+    test_graph: Graph
+    removed_pairs: List[Pair]
+
+
+@dataclass
+class CliqueSplit:
+    """A 3-clique split: test graph, the cliques, and the edge removed
+    from each."""
+
+    test_graph: Graph
+    cliques: List[Triple]
+    removed_pairs: List[Pair]
+
+
+def cross_edges(graph: Graph, left: Sequence[int], right: Sequence[int]) -> List[Pair]:
+    """All undirected edges with one endpoint in each set (as
+    ``(l, r)`` pairs; a pair appears once even though the graph stores
+    both arcs)."""
+    right_set = set(right)
+    pairs = []
+    for l in left:
+        for neighbor in graph.out_neighbors(l):
+            if neighbor in right_set and neighbor != l:
+                pairs.append((l, neighbor))
+    return pairs
+
+
+def remove_random_cross_edges(
+    graph: Graph,
+    left: Sequence[int],
+    right: Sequence[int],
+    fraction: float = 0.5,
+    seed: int = 0,
+) -> LinkSplit:
+    """Drop a random ``fraction`` of the ``(left, right)`` cross edges.
+
+    This is the paper's Yeast/YouTube link-prediction protocol.  The
+    removed pairs are the positives the join should re-discover.
+    """
+    if not (0.0 < fraction <= 1.0):
+        raise GraphValidationError(f"fraction must be in (0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    pairs = cross_edges(graph, left, right)
+    if not pairs:
+        raise GraphValidationError("no cross edges between the given node sets")
+    count = max(1, int(round(fraction * len(pairs))))
+    chosen_idx = rng.choice(len(pairs), size=count, replace=False)
+    removed = [pairs[i] for i in chosen_idx]
+    return LinkSplit(test_graph=graph.without_edges(removed), removed_pairs=removed)
+
+
+def enumerate_cross_cliques(
+    graph: Graph,
+    set_p: Sequence[int],
+    set_q: Sequence[int],
+    set_r: Sequence[int],
+) -> List[Triple]:
+    """All 3-cliques ``(p, q, r)`` with one node in each set.
+
+    Assumes an undirected (symmetrised) graph.  A clique is reported once
+    per ordered set-assignment — i.e. as ``(p, q, r)`` with ``p in P``
+    etc. — which is the unit the 3-way join predicts.
+    """
+    q_set = set(set_q)
+    r_set = set(set_r)
+    cliques: List[Triple] = []
+    for p in set_p:
+        p_neighbors = set(graph.out_neighbors(p))
+        q_candidates = p_neighbors & q_set
+        r_candidates = p_neighbors & r_set
+        for q in q_candidates:
+            if q == p:
+                continue
+            q_neighbors = graph.out_neighbors(q)
+            for r in r_candidates:
+                if r == p or r == q:
+                    continue
+                if r in q_neighbors:
+                    cliques.append((p, q, r))
+    return cliques
+
+
+def remove_edge_per_clique(
+    graph: Graph,
+    set_p: Sequence[int],
+    set_q: Sequence[int],
+    set_r: Sequence[int],
+    seed: int = 0,
+) -> CliqueSplit:
+    """Remove one random edge from each cross-set 3-clique.
+
+    The paper's 3-clique-prediction protocol: the damaged cliques are the
+    positives a triangle 3-way join on ``T`` should rank highest.
+    """
+    rng = np.random.default_rng(seed)
+    cliques = enumerate_cross_cliques(graph, set_p, set_q, set_r)
+    if not cliques:
+        raise GraphValidationError("no cross-set 3-cliques in the graph")
+    removed: set = set()
+    for p, q, r in cliques:
+        edges = [(p, q), (q, r), (p, r)]
+        u, v = edges[int(rng.integers(0, 3))]
+        removed.add((min(u, v), max(u, v)))
+    removed_pairs = sorted(removed)
+    return CliqueSplit(
+        test_graph=graph.without_edges(removed_pairs),
+        cliques=cliques,
+        removed_pairs=removed_pairs,
+    )

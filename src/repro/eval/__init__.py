@@ -1,0 +1,23 @@
+"""Effectiveness harness: ROC/AUC, link- and 3-clique prediction."""
+
+from repro.eval.clique_prediction import (
+    CliquePredictionResult,
+    evaluate_clique_prediction,
+)
+from repro.eval.link_prediction import (
+    LinkPredictionResult,
+    evaluate_link_prediction,
+    rank_candidate_links,
+)
+from repro.eval.roc import ROCResult, auc_from_scores, roc_curve
+
+__all__ = [
+    "CliquePredictionResult",
+    "LinkPredictionResult",
+    "ROCResult",
+    "auc_from_scores",
+    "evaluate_clique_prediction",
+    "evaluate_link_prediction",
+    "rank_candidate_links",
+    "roc_curve",
+]

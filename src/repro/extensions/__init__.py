@@ -1,0 +1,28 @@
+"""Future-work extensions (paper Section VIII): joins over PPR and
+SimRank."""
+
+from repro.extensions.measures import DHTMeasure, TruncatedPPR, exact_ppr_to_target
+from repro.extensions.series_join import (
+    SeriesBackwardJoin,
+    SeriesIDJ,
+    series_multi_way_join,
+    series_two_way_join,
+)
+from repro.extensions.simrank import (
+    SimRankJoin,
+    simrank_matrix,
+    simrank_multi_way_join,
+)
+
+__all__ = [
+    "DHTMeasure",
+    "SeriesBackwardJoin",
+    "SeriesIDJ",
+    "SimRankJoin",
+    "TruncatedPPR",
+    "exact_ppr_to_target",
+    "series_multi_way_join",
+    "series_two_way_join",
+    "simrank_matrix",
+    "simrank_multi_way_join",
+]

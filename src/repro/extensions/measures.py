@@ -1,0 +1,157 @@
+"""Random-walk proximity measures beyond DHT.
+
+The paper's conclusion (Section VIII) plans to "extend the study of
+n-way join for other proximity measures on graphs, including
+Personalized PageRank [and] SimRank".  The IDJ framework [19] the paper
+builds on supports any measure expressible as a truncated decayed
+series
+
+``score(u, v) = alpha * sum_{i} lambda^i M_i(u, v) + beta``
+
+where ``M_i`` is some per-step walk statistic.  :class:`SeriesMeasure`
+captures that contract; :class:`TruncatedPPR` instantiates it for
+Personalized PageRank (``M_i = S_i``, the *unrestricted* visit
+probability), and :class:`DHTMeasure` adapts the core DHT
+implementation so the generic joins in
+:mod:`repro.extensions.series_join` run over either measure unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.dht import DHTParams
+from repro.walks.engine import WalkEngine
+
+
+class SeriesMeasure(Protocol):
+    """A truncated decayed-series proximity measure.
+
+    Implementations provide a *backward* kernel — one propagation from a
+    target yields the measure to all sources — plus the algebra needed
+    for iterative-deepening bounds.
+    """
+
+    name: str
+    d: int
+
+    def backward_scores(self, engine: WalkEngine, target: int, steps: int) -> np.ndarray:
+        """``steps``-truncated scores from every node to ``target``."""
+        ...
+
+    def tail_bound(self, level: int) -> float:
+        """Upper bound on the score mass of steps ``level+1 .. d``."""
+        ...
+
+    @property
+    def floor(self) -> float:
+        """Score of a pair with zero walk statistics (the range floor)."""
+        ...
+
+
+class TruncatedPPR:
+    """Personalized PageRank, truncated at ``d`` steps.
+
+    ``PPR(u, v) = (1 - c) * sum_{i >= 0} c^i S_i(u, v)`` where
+    ``S_i(u, v)`` is the probability that a ``c``-continuing walker from
+    ``u`` is at ``v`` after ``i`` steps (Jeh & Widom [20]).  Unlike DHT
+    the walker may revisit ``v``; the backward kernel is therefore the
+    plain (non-absorbing) propagation.
+
+    Parameters
+    ----------
+    damping:
+        Continuation probability ``c`` in (0, 1); 0.85 is customary.
+    epsilon:
+        Truncation error target; ``d`` is the smallest depth with
+        ``c^{d+1} <= epsilon`` (the tail of the geometric series, since
+        ``S_i <= 1``).
+    """
+
+    def __init__(self, damping: float = 0.85, epsilon: float = 1e-4) -> None:
+        if not (0.0 < damping < 1.0):
+            raise ValueError(f"damping must be in (0, 1), got {damping}")
+        if not (0.0 < epsilon < 1.0):
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.damping = damping
+        self.epsilon = epsilon
+        self.d = max(1, math.ceil(math.log(epsilon) / math.log(damping) - 1.0))
+        self.name = f"PPR(c={damping})"
+
+    @property
+    def floor(self) -> float:
+        """A never-visited pair scores 0."""
+        return 0.0
+
+    def backward_scores(self, engine: WalkEngine, target: int, steps: int) -> np.ndarray:
+        """Truncated PPR of every node to ``target`` in one propagation.
+
+        ``(1-c) * sum_{i=1..steps} c^i S_i(u, target)`` plus the ``i=0``
+        self-visit term for ``u == target`` itself.
+        """
+        back = np.zeros(engine.num_nodes, dtype=np.float64)
+        back[target] = 1.0
+        transition = engine.graph.transition_matrix()
+        scores = np.zeros(engine.num_nodes, dtype=np.float64)
+        scores[target] = 1.0 - self.damping  # i = 0 term
+        factor = 1.0 - self.damping
+        for i in range(1, steps + 1):
+            back = transition.dot(back)
+            scores += factor * self.damping ** i * back
+        return scores
+
+    def tail_bound(self, level: int) -> float:
+        """``(1-c) sum_{i > level} c^i = c^{level+1}`` (since S_i <= 1)."""
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        return self.damping ** (level + 1)
+
+
+class DHTMeasure:
+    """Adapter exposing the core DHT implementation as a
+    :class:`SeriesMeasure`, so generic joins can mix measures."""
+
+    def __init__(self, params: DHTParams = None, epsilon: float = 1e-6) -> None:
+        self.params = params if params is not None else DHTParams.dht_lambda(0.2)
+        self.d = self.params.steps_for_epsilon(epsilon)
+        self.name = f"DHT(lambda={self.params.decay})"
+
+    @property
+    def floor(self) -> float:
+        """``beta`` — the score of a pair that never hits."""
+        return self.params.beta
+
+    def backward_scores(self, engine: WalkEngine, target: int, steps: int) -> np.ndarray:
+        """Truncated DHT via the first-hit backward kernel."""
+        series = engine.backward_first_hit_series(target, steps)
+        scores = self.params.scores_from_matrix(series)
+        scores[target] = 0.0
+        return scores
+
+    def tail_bound(self, level: int) -> float:
+        """The ``X_l^+`` geometric tail (Lemma 2)."""
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        return (
+            self.params.alpha
+            * self.params.decay ** (level + 1)
+            / (1.0 - self.params.decay)
+        )
+
+
+def exact_ppr_to_target(graph, damping: float, target: int) -> np.ndarray:
+    """Exact (untruncated) PPR column via a dense linear solve.
+
+    ``pi = (1-c) (I - c T)^{-1} e_target`` — test oracle for
+    :class:`TruncatedPPR`; small graphs only.
+    """
+    from repro.walks.hitting import dense_transition_matrix
+
+    n = graph.num_nodes
+    dense = dense_transition_matrix(graph)
+    rhs = np.zeros(n)
+    rhs[target] = 1.0 - damping
+    return np.linalg.solve(np.eye(n) - damping * dense, rhs)

@@ -1,0 +1,6 @@
+"""Graph substrate: storage, validation, builders, and serialisation."""
+
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError, validate_node_set
+
+__all__ = ["Graph", "GraphValidationError", "validate_node_set"]

@@ -1,0 +1,224 @@
+"""Graph constructors: deterministic fixtures and random generative models.
+
+The deterministic builders (paths, cycles, stars, grids, cliques) are used
+heavily by the test suite, where hand-computable hitting probabilities are
+needed.  The random models are the building blocks of the dataset
+substitutes in :mod:`repro.datasets`:
+
+* Erdos-Renyi ``G(n, p)`` — unstructured baseline.
+* Configuration-style power-law graphs — degree skew (DBLP, YouTube).
+* Preferential attachment (Barabasi-Albert) — social-network topology.
+* Duplication-divergence — protein-interaction topology (Yeast).
+* Planted-partition — community structure (research areas, interest
+  groups).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError
+
+UndirectedEdge = Tuple[int, int, float]
+
+
+# ----------------------------------------------------------------------
+# Deterministic fixtures
+# ----------------------------------------------------------------------
+
+
+def path_graph(n: int, weight: float = 1.0) -> Graph:
+    """Undirected path ``0 - 1 - ... - n-1``."""
+    return Graph.from_undirected_edges(
+        n, [(i, i + 1, weight) for i in range(n - 1)]
+    )
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """Undirected cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphValidationError(f"cycle needs >= 3 nodes, got {n}")
+    edges = [(i, (i + 1) % n, weight) for i in range(n)]
+    return Graph.from_undirected_edges(n, edges)
+
+
+def star_graph(n_leaves: int, weight: float = 1.0) -> Graph:
+    """Star with centre 0 and leaves ``1 .. n_leaves``."""
+    edges = [(0, i, weight) for i in range(1, n_leaves + 1)]
+    return Graph.from_undirected_edges(n_leaves + 1, edges)
+
+
+def complete_graph(n: int, weight: float = 1.0) -> Graph:
+    """Undirected clique on ``n`` nodes."""
+    edges = [(i, j, weight) for i in range(n) for j in range(i + 1, n)]
+    return Graph.from_undirected_edges(n, edges)
+
+
+def grid_graph(rows: int, cols: int, weight: float = 1.0) -> Graph:
+    """4-connected grid; node ``(r, c)`` has id ``r * cols + c``."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                edges.append((u, u + 1, weight))
+            if r + 1 < rows:
+                edges.append((u, u + cols, weight))
+    return Graph.from_undirected_edges(rows * cols, edges)
+
+
+def directed_cycle(n: int, weight: float = 1.0) -> Graph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` (asymmetric DHT tests)."""
+    if n < 2:
+        raise GraphValidationError(f"directed cycle needs >= 2 nodes, got {n}")
+    return Graph(n, [(i, (i + 1) % n, weight) for i in range(n)])
+
+
+# ----------------------------------------------------------------------
+# Random models
+# ----------------------------------------------------------------------
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    rng: np.random.Generator,
+    weighted: bool = False,
+    max_weight: int = 5,
+) -> Graph:
+    """Undirected ``G(n, p)`` graph.
+
+    When ``weighted``, integer weights are drawn uniformly from
+    ``1 .. max_weight`` (mimicking paper-count weights).
+    """
+    if not (0.0 <= p <= 1.0):
+        raise GraphValidationError(f"p must be in [0, 1], got {p}")
+    edges: List[UndirectedEdge] = []
+    for u in range(n):
+        draws = rng.random(n - u - 1)
+        for offset in np.nonzero(draws < p)[0]:
+            v = u + 1 + int(offset)
+            w = float(rng.integers(1, max_weight + 1)) if weighted else 1.0
+            edges.append((u, v, w))
+    return Graph.from_undirected_edges(n, edges)
+
+
+def preferential_attachment(
+    n: int,
+    m: int,
+    rng: np.random.Generator,
+) -> Graph:
+    """Barabasi-Albert graph: each new node attaches to ``m`` targets.
+
+    Produces the heavy-tailed degree distribution of social graphs
+    (YouTube).  Uses the standard repeated-endpoint sampling trick so that
+    attachment probability is proportional to degree.
+    """
+    if n < m + 1:
+        raise GraphValidationError(f"need n > m, got n={n}, m={m}")
+    edges: List[UndirectedEdge] = []
+    # Seed: a small clique over the first m+1 nodes.
+    repeated: List[int] = []
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            edges.append((u, v, 1.0))
+            repeated.extend((u, v))
+    for u in range(m + 1, n):
+        targets = set()
+        while len(targets) < m:
+            targets.add(repeated[int(rng.integers(0, len(repeated)))])
+        for v in targets:
+            edges.append((u, v, 1.0))
+            repeated.extend((u, v))
+    return Graph.from_undirected_edges(n, edges)
+
+
+def duplication_divergence(
+    n: int,
+    retention: float,
+    rng: np.random.Generator,
+    seed_size: int = 5,
+) -> Graph:
+    """Duplication-divergence model for protein-interaction networks.
+
+    Each new protein copies a random existing one, retains each of its
+    interactions with probability ``retention``, and always links back to
+    its ancestor.  This reproduces the sparse, locally clustered topology
+    of the Yeast PPI graph.
+    """
+    if not (0.0 < retention <= 1.0):
+        raise GraphValidationError(f"retention must be in (0, 1], got {retention}")
+    if n < seed_size:
+        raise GraphValidationError(f"need n >= seed_size, got n={n}")
+    adj: List[set] = [set() for _ in range(n)]
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            adj[u].add(v)
+            adj[v].add(u)
+    for u in range(seed_size, n):
+        ancestor = int(rng.integers(0, u))
+        for v in list(adj[ancestor]):
+            if rng.random() < retention:
+                adj[u].add(v)
+                adj[v].add(u)
+        adj[u].add(ancestor)
+        adj[ancestor].add(u)
+    edges = [(u, v, 1.0) for u in range(n) for v in adj[u] if u < v]
+    return Graph.from_undirected_edges(n, edges)
+
+
+def planted_partition(
+    community_sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    rng: np.random.Generator,
+    weighted: bool = False,
+    max_weight: int = 8,
+) -> Tuple[Graph, List[List[int]]]:
+    """Planted-partition (stochastic block) graph.
+
+    Returns the graph and the list of communities (lists of node ids).
+    Within-community edges appear with probability ``p_in``,
+    cross-community edges with ``p_out``.  This is the backbone of the
+    DBLP substitute: communities play the role of research areas.
+    """
+    if not (0.0 <= p_out <= p_in <= 1.0):
+        raise GraphValidationError(
+            f"need 0 <= p_out <= p_in <= 1, got p_in={p_in}, p_out={p_out}"
+        )
+    n = int(sum(community_sizes))
+    membership = np.empty(n, dtype=np.int64)
+    communities: List[List[int]] = []
+    start = 0
+    for c, size in enumerate(community_sizes):
+        communities.append(list(range(start, start + size)))
+        membership[start : start + size] = c
+        start += size
+    edges: List[UndirectedEdge] = []
+    for u in range(n):
+        draws = rng.random(n - u - 1)
+        for offset in range(n - u - 1):
+            v = u + 1 + offset
+            p = p_in if membership[u] == membership[v] else p_out
+            if draws[offset] < p:
+                w = float(rng.integers(1, max_weight + 1)) if weighted else 1.0
+                edges.append((u, v, w))
+    return Graph.from_undirected_edges(n, edges), communities
+
+
+def random_directed(
+    n: int,
+    p: float,
+    rng: np.random.Generator,
+    max_weight: int = 4,
+) -> Graph:
+    """Random directed weighted graph (asymmetric-DHT property tests)."""
+    edges = []
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                edges.append((u, v, float(rng.integers(1, max_weight + 1))))
+    return Graph(n, edges)

@@ -1,0 +1,102 @@
+"""Structural graph metrics.
+
+Used by the dataset generators' validation (the substitutes must match
+the real datasets' degree skew and clustering — DESIGN.md §4) and by
+the stats CLI.  Everything here treats the graph's undirected skeleton:
+an edge counts once regardless of arc direction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.digraph import Graph
+
+
+def undirected_neighbor_sets(graph: Graph) -> List[set]:
+    """Per-node neighbour sets of the undirected skeleton."""
+    neighbors: List[set] = [set() for _ in range(graph.num_nodes)]
+    for u, v, _w in graph.edges():
+        neighbors[u].add(v)
+        neighbors[v].add(u)
+    return neighbors
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """``hist[d]`` = number of nodes with undirected degree ``d``."""
+    neighbors = undirected_neighbor_sets(graph)
+    degrees = np.array([len(s) for s in neighbors], dtype=np.int64)
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)
+
+
+def average_clustering_coefficient(graph: Graph, sample: int = 0,
+                                   seed: int = 0) -> float:
+    """Mean local clustering coefficient (undirected skeleton).
+
+    ``sample > 0`` estimates from that many random nodes — exact
+    computation is quadratic in hub degrees and needless for validation.
+    Degree-<2 nodes contribute 0, the usual convention.
+    """
+    neighbors = undirected_neighbor_sets(graph)
+    nodes = list(range(graph.num_nodes))
+    if sample and sample < len(nodes):
+        rng = np.random.default_rng(seed)
+        nodes = [int(u) for u in rng.choice(len(nodes), size=sample, replace=False)]
+    if not nodes:
+        return 0.0
+    total = 0.0
+    for u in nodes:
+        adjacent = neighbors[u]
+        k = len(adjacent)
+        if k < 2:
+            continue
+        links = 0
+        for v in adjacent:
+            links += len(neighbors[v] & adjacent)
+        total += links / (k * (k - 1))  # each triangle counted twice; so is k(k-1)
+    return total / len(nodes)
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components of the undirected skeleton (BFS),
+    largest first."""
+    neighbors = undirected_neighbor_sets(graph)
+    seen = [False] * graph.num_nodes
+    components: List[List[int]] = []
+    for start in graph.nodes():
+        if seen[start]:
+            continue
+        queue = deque([start])
+        seen[start] = True
+        component = []
+        while queue:
+            u = queue.popleft()
+            component.append(u)
+            for v in neighbors[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+        components.append(sorted(component))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def summarize(graph: Graph, clustering_sample: int = 500) -> Dict[str, float]:
+    """One-call structural summary used by dataset validation."""
+    hist = degree_histogram(graph)
+    degrees = np.repeat(np.arange(hist.size), hist)
+    components = connected_components(graph)
+    return {
+        "num_nodes": float(graph.num_nodes),
+        "num_undirected_edges": float(degrees.sum() / 2.0),
+        "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+        "max_degree": float(degrees.max()) if degrees.size else 0.0,
+        "clustering": average_clustering_coefficient(graph, sample=clustering_sample),
+        "num_components": float(len(components)),
+        "largest_component": float(len(components[0])) if components else 0.0,
+    }

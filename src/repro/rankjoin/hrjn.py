@@ -1,0 +1,70 @@
+"""The HRJN corner bound and pull strategy (Ilyas et al. [29]).
+
+The Pull/Bound Rank Join framework (PBRJ [28]) is parameterised by a
+*bounding scheme* and a *pull strategy*; the paper instantiates both from
+HRJN: the **corner bound** as the stopping threshold ``tau`` and
+round-robin pulling over the per-edge inputs (Algorithm 1, steps 7 and
+14).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.core.nway.aggregates import Aggregate
+from repro.rankjoin.inputs import RankJoinInput
+
+
+def corner_bound(aggregate: Aggregate, inputs: Sequence[RankJoinInput]) -> float:
+    """Upper bound ``tau`` on the score of any not-yet-generated result.
+
+    Every future result must include at least one *future* pair from some
+    non-exhausted input ``e`` (results whose pairs have all been pulled
+    were generated at the time their last pair arrived).  A future pair
+    on ``e`` scores at most ``last_e``; pairs on every other input score
+    at most that input's first (maximum) score.  With ``f`` monotone:
+
+    ``tau = max over non-exhausted e of
+    f(first_1, ..., last_e, ..., first_n)``.
+
+    Before every input has produced its first score the bound is
+    ``+inf``; once every input is exhausted it is ``-inf``.
+    """
+    if all(inp.exhausted for inp in inputs):
+        return -math.inf
+    firsts: List[Optional[float]] = [inp.first_score for inp in inputs]
+    if any(score is None for score in firsts):
+        return math.inf
+    tau = -math.inf
+    corner = [float(score) for score in firsts]  # type: ignore[arg-type]
+    for e, inp in enumerate(inputs):
+        if inp.exhausted:
+            continue
+        saved = corner[e]
+        corner[e] = float(inp.last_score)  # type: ignore[arg-type]
+        tau = max(tau, aggregate(corner))
+        corner[e] = saved
+    return tau
+
+
+class RoundRobinPuller:
+    """Cycle over the inputs, skipping exhausted ones.
+
+    Returns the index of the next input to pull from, or ``None`` when
+    everything is exhausted.
+    """
+
+    def __init__(self, num_inputs: int) -> None:
+        if num_inputs < 1:
+            raise ValueError(f"need at least one input, got {num_inputs}")
+        self._num_inputs = num_inputs
+        self._cursor = -1
+
+    def next_input(self, inputs: Sequence[RankJoinInput]) -> Optional[int]:
+        """Index of the next non-exhausted input in round-robin order."""
+        for _ in range(self._num_inputs):
+            self._cursor = (self._cursor + 1) % self._num_inputs
+            if not inputs[self._cursor].exhausted:
+                return self._cursor
+        return None

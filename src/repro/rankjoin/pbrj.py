@@ -1,0 +1,118 @@
+"""The Pull/Bound Rank Join driver (PBRJ [28], Algorithm 1's steps 5–14).
+
+Generic over: the query graph shape, the monotone aggregate, and the
+per-edge inputs (materialised for ``AP``, lazily extendable for
+``PJ``/``PJ-i``).  The driver pulls pairs round-robin, expands each new
+pair into candidate answers via the buffers (Fig. 4), maintains the
+top-``k`` output queue ``O``, and stops once the corner bound ``tau``
+certifies that no future answer can displace the current k-th best.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.nway.aggregates import Aggregate
+from repro.core.nway.candidates import CandidateAnswer, CandidateGenerator
+from repro.core.nway.query_graph import QueryGraph
+from repro.graph.validation import GraphValidationError
+from repro.rankjoin.hrjn import RoundRobinPuller, corner_bound
+from repro.rankjoin.inputs import RankJoinInput
+
+
+@dataclass
+class RankJoinStats:
+    """Instrumentation of one PBRJ run (used by benchmarks and tests)."""
+
+    pulls: int = 0
+    candidates_generated: int = 0
+    refills: int = 0
+    final_threshold: float = math.inf
+    pulls_per_edge: List[int] = field(default_factory=list)
+
+
+class PBRJ:
+    """One rank-join execution over per-edge sorted inputs.
+
+    Parameters
+    ----------
+    query_graph:
+        The query shape; ``inputs[e]`` must stream the 2-way join of
+        ``query_graph.edges[e]``.
+    aggregate:
+        Monotone aggregate ``f``.
+    inputs:
+        One :class:`~repro.rankjoin.inputs.RankJoinInput` per query edge.
+    k:
+        Number of answers to return.
+    """
+
+    def __init__(
+        self,
+        query_graph: QueryGraph,
+        aggregate: Aggregate,
+        inputs: Sequence[RankJoinInput],
+        k: int,
+    ) -> None:
+        if len(inputs) != query_graph.num_edges:
+            raise GraphValidationError(
+                f"{len(inputs)} inputs for {query_graph.num_edges} query edges"
+            )
+        if k < 0:
+            raise GraphValidationError(f"k must be >= 0, got {k}")
+        self._query = query_graph
+        self._aggregate = aggregate
+        self._inputs = list(inputs)
+        self._k = k
+        self.stats = RankJoinStats()
+
+    def run(self) -> List[CandidateAnswer]:
+        """Execute the rank join and return the top-``k`` answers sorted
+        by descending aggregate score (ties by node tuple)."""
+        k = self._k
+        if k == 0:
+            return []
+        generator = CandidateGenerator(self._query, self._aggregate)
+        puller = RoundRobinPuller(len(self._inputs))
+        # O: min-heap capped at k entries.  The heap key inverts the node
+        # tuple so that eviction order matches the final sort order
+        # (-score, nodes): on score ties the lexicographically smallest
+        # tuple is preferred, exactly as in the NL baseline.
+        output: List[Tuple[Tuple[float, Tuple[int, ...]], CandidateAnswer]] = []
+        tau = math.inf
+
+        def heap_key(answer: CandidateAnswer) -> Tuple[float, Tuple[int, ...]]:
+            return (answer.score, tuple(-node for node in answer.nodes))
+
+        def kth_best() -> float:
+            return output[0][0][0] if len(output) >= k else -math.inf
+
+        while len(output) < k or kth_best() < tau:
+            edge = puller.next_input(self._inputs)
+            if edge is None:
+                break  # every input exhausted; return what we have
+            before = self._inputs[edge].refill_calls
+            pair = self._inputs[edge].pull()
+            self.stats.refills += self._inputs[edge].refill_calls - before
+            if pair is None:
+                # This input just reported exhaustion; tau may now drop.
+                tau = corner_bound(self._aggregate, self._inputs)
+                continue
+            self.stats.pulls += 1
+            for answer in generator.on_new_pair(edge, pair):
+                self.stats.candidates_generated += 1
+                item = (heap_key(answer), answer)
+                if len(output) < k:
+                    heapq.heappush(output, item)
+                elif item[0] > output[0][0]:
+                    heapq.heapreplace(output, item)
+            tau = corner_bound(self._aggregate, self._inputs)
+
+        self.stats.final_threshold = tau
+        self.stats.pulls_per_edge = [inp.pulled for inp in self._inputs]
+        answers = [entry[1] for entry in output]
+        answers.sort(key=lambda a: (-a.score, a.nodes))
+        return answers

@@ -1,0 +1,5 @@
+"""Random-walk kernels: sparse production engine and test oracles."""
+
+from repro.walks.engine import WalkEngine
+
+__all__ = ["WalkEngine"]

@@ -1,0 +1,169 @@
+"""Vectorised random-walk kernels.
+
+Every DHT computation in the paper reduces to propagating probability mass
+along graph edges, one step per iteration, with the *target* node made
+absorbing so only first hits are counted:
+
+* **Backward propagation** (Eq. 5, used by ``backWalk`` / all ``B-*``
+  algorithms): one propagation from the target ``q`` yields the first-hit
+  probabilities ``P_i(u, q)`` for *every* start node ``u`` simultaneously.
+* **Forward propagation** (used by ``F-BJ`` / ``F-IDJ``): one propagation
+  from the start ``p``, with ``q`` absorbing, yields ``P_i(p, q)`` for a
+  *single* target ``q``.
+* **Reach mass** (used by the ``Y_l^+`` bound, Theorem 1): an unrestricted
+  propagation from the whole set ``P`` at once; by linearity the mass at
+  ``v`` after ``i`` steps is ``sum_p S_i(p, v)``.
+
+Each step is a sparse mat-vec costing ``O(|E_G|)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError
+
+
+class WalkEngine:
+    """Random-walk kernels bound to one graph.
+
+    The engine caches the transition matrix ``T`` and its transpose; create
+    one per graph and share it across joins.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._transition = graph.transition_matrix()
+        self._transition_t = graph.transition_matrix_transpose()
+        self._n = graph.num_nodes
+
+    @property
+    def graph(self) -> Graph:
+        """The graph this engine walks on."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the bound graph."""
+        return self._n
+
+    # ------------------------------------------------------------------
+    # Backward propagation (Eq. 5)
+    # ------------------------------------------------------------------
+
+    def backward_first_hit_series(self, target: int, steps: int) -> np.ndarray:
+        """First-hit probabilities ``P_i(u, target)`` for all ``u``.
+
+        Implements Eq. 5: initialise ``backProb = e_target``; the first
+        step uses all edges; later steps zero the target entry first so a
+        walk that has already hit the target is not extended (first-hit
+        semantics).
+
+        Parameters
+        ----------
+        target:
+            The hit node ``q``.
+        steps:
+            Number of steps ``d >= 1``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(steps, num_nodes)``; row ``i-1`` holds
+            ``P_i(u, target)``.  The ``u == target`` column is the return
+            probability and is ignored by all callers.
+        """
+        self._check_target(target)
+        self._check_steps(steps)
+        series = np.empty((steps, self._n), dtype=np.float64)
+        back_prob = np.zeros(self._n, dtype=np.float64)
+        back_prob[target] = 1.0
+        for i in range(steps):
+            if i > 0:
+                # A walker must not pass *through* the target: zero the
+                # mass that already arrived before propagating further.
+                back_prob = back_prob.copy()
+                back_prob[target] = 0.0
+            back_prob = self._transition.dot(back_prob)
+            series[i] = back_prob
+        return series
+
+    # ------------------------------------------------------------------
+    # Forward propagation
+    # ------------------------------------------------------------------
+
+    def forward_first_hit_series(self, source: int, target: int, steps: int) -> np.ndarray:
+        """First-hit probabilities ``P_i(source, target)`` for one pair.
+
+        Propagates walker mass forward from ``source`` with ``target``
+        absorbing: before each step the mass sitting on ``target`` is
+        removed (those walkers stopped), and the mass flowing *into*
+        ``target`` at step ``i`` is exactly ``P_i(source, target)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Vector of length ``steps``; entry ``i-1`` is
+            ``P_i(source, target)``.
+        """
+        self._check_target(source)
+        self._check_target(target)
+        self._check_steps(steps)
+        if source == target:
+            raise GraphValidationError(
+                f"first-hit from a node to itself is undefined (node {source})"
+            )
+        hits = np.empty(steps, dtype=np.float64)
+        mass = np.zeros(self._n, dtype=np.float64)
+        mass[source] = 1.0
+        for i in range(steps):
+            mass[target] = 0.0
+            mass = self._transition_t.dot(mass)
+            hits[i] = mass[target]
+        return hits
+
+    # ------------------------------------------------------------------
+    # Unrestricted reach mass (for the Y bound)
+    # ------------------------------------------------------------------
+
+    def reach_mass_series(self, sources: Sequence[int], steps: int) -> np.ndarray:
+        """Aggregated reach probabilities ``sum_p S_i(p, v)``.
+
+        ``S_i(p, v)`` is the probability that a walker from ``p`` is at
+        ``v`` after ``i`` steps, *not necessarily for the first time*
+        (Lemma 3).  The propagation has no absorbing node.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(steps, num_nodes)``; row ``i-1``, column
+            ``v`` is ``sum_{p in sources} S_i(p, v)``.
+        """
+        self._check_steps(steps)
+        mass = np.zeros(self._n, dtype=np.float64)
+        for p in sources:
+            self._check_target(int(p))
+            mass[int(p)] += 1.0
+        if not mass.any():
+            raise GraphValidationError("reach_mass_series needs at least one source")
+        series = np.empty((steps, self._n), dtype=np.float64)
+        for i in range(steps):
+            mass = self._transition_t.dot(mass)
+            series[i] = mass
+        return series
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+
+    def _check_target(self, node: int) -> None:
+        if not (0 <= node < self._n):
+            raise GraphValidationError(f"node {node} out of range [0, {self._n})")
+
+    @staticmethod
+    def _check_steps(steps: int) -> None:
+        if steps < 1:
+            raise GraphValidationError(f"steps must be >= 1, got {steps}")

@@ -1,0 +1,99 @@
+"""Reference implementations of first-hit probabilities.
+
+These are *oracles* for the test suite: a dense linear-algebra version and
+a Monte-Carlo simulation.  Both are independent of the sparse production
+kernels in :mod:`repro.walks.engine`, so agreement between the three is a
+meaningful check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError
+
+
+def dense_transition_matrix(graph: Graph) -> np.ndarray:
+    """Dense row-stochastic transition matrix (small graphs only)."""
+    n = graph.num_nodes
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for u in graph.nodes():
+        neighbors = graph.out_neighbors(u)
+        if not neighbors:
+            continue
+        total = sum(neighbors.values())
+        for v, w in neighbors.items():
+            matrix[u, v] = w / total
+    return matrix
+
+
+def exact_first_hit_series(graph: Graph, target: int, steps: int) -> np.ndarray:
+    """``P_i(u, target)`` for all ``u`` by dense absorbing-chain powers.
+
+    Let ``T_q`` be the transition matrix with *row* ``target`` zeroed
+    (once at the target, the walk stops).  Then
+    ``P_i(u, q) = (T_q^{i-1} T)[u, q]``: take ``i - 1`` steps avoiding a
+    stop at ``q``... more precisely, the standard first-passage recursion
+    ``P_1 = T e_q`` and ``P_i = T_{-q} P_{i-1}`` where ``T_{-q}`` is ``T``
+    with *column* ``q`` zeroed (mirror of Eq. 5, evaluated densely).
+    """
+    if not (0 <= target < graph.num_nodes):
+        raise GraphValidationError(f"target {target} out of range")
+    dense = dense_transition_matrix(graph)
+    n = graph.num_nodes
+    series = np.empty((steps, n), dtype=np.float64)
+    masked = dense.copy()
+    masked[:, target] = 0.0
+    current = dense[:, target].copy()  # P_1(u, q) = p_uq
+    series[0] = current
+    for i in range(1, steps):
+        current = masked.dot(current)
+        series[i] = current
+    return series
+
+
+def simulate_first_hit_series(
+    graph: Graph,
+    source: int,
+    target: int,
+    steps: int,
+    num_walks: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Monte-Carlo estimate of ``P_i(source, target)``, ``i = 1..steps``.
+
+    Runs ``num_walks`` independent random walks of at most ``steps``
+    moves, recording the step at which each first reaches ``target``.
+    Used only in tests as a model-independent sanity check.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    counts = np.zeros(steps, dtype=np.float64)
+    # Pre-extract adjacency in array form for fast sampling.
+    neighbor_ids = []
+    neighbor_cdf = []
+    for u in graph.nodes():
+        adj = graph.out_neighbors(u)
+        if adj:
+            ids = np.fromiter(adj.keys(), dtype=np.int64, count=len(adj))
+            weights = np.fromiter(adj.values(), dtype=np.float64, count=len(adj))
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            cdf = np.empty(0, dtype=np.float64)
+        neighbor_ids.append(ids)
+        neighbor_cdf.append(cdf)
+    for _ in range(num_walks):
+        node = source
+        for step in range(1, steps + 1):
+            ids = neighbor_ids[node]
+            if ids.size == 0:
+                break  # stuck at a dangling node
+            node = int(ids[np.searchsorted(neighbor_cdf[node], rng.random())])
+            if node == target:
+                counts[step - 1] += 1.0
+                break
+    return counts / num_walks

@@ -1,0 +1,63 @@
+"""Shared fixtures: small hand-checkable graphs and default parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dht import DHTParams
+from repro.graph.builders import erdos_renyi, path_graph, random_directed
+from repro.graph.digraph import Graph
+
+
+@pytest.fixture
+def params():
+    """The paper's default DHT configuration (lambda = 0.2)."""
+    return DHTParams.dht_lambda(0.2)
+
+
+@pytest.fixture
+def params_e():
+    """The DHT_e variant."""
+    return DHTParams.dht_e()
+
+
+@pytest.fixture
+def path4():
+    """Path 0 - 1 - 2 - 3 with unit weights."""
+    return path_graph(4)
+
+
+@pytest.fixture
+def tiny_directed():
+    """A 4-node directed weighted graph with asymmetric structure.
+
+    Edges: 0->1 (w2), 0->2 (w1), 1->2 (w1), 2->3 (w1), 3->0 (w1).
+    Hand-checkable transition probabilities:
+    p(0,1)=2/3, p(0,2)=1/3, p(1,2)=1, p(2,3)=1, p(3,0)=1.
+    """
+    return Graph(4, [(0, 1, 2.0), (0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+
+
+@pytest.fixture
+def weighted_triangle():
+    """Undirected triangle with distinct weights (0-1: 1, 1-2: 2, 0-2: 3)."""
+    return Graph.from_undirected_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+
+
+@pytest.fixture
+def random_graph():
+    """A fixed mid-size random weighted undirected graph."""
+    return erdos_renyi(40, 0.12, np.random.default_rng(11), weighted=True)
+
+
+@pytest.fixture
+def random_digraph():
+    """A fixed random directed weighted graph (asymmetric DHT)."""
+    return random_directed(25, 0.12, np.random.default_rng(5))
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(123)

@@ -1,0 +1,145 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.builders import erdos_renyi
+from repro.graph.io import write_edge_list, write_node_sets
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    import numpy as np
+
+    graph = erdos_renyi(25, 0.2, np.random.default_rng(4), weighted=True)
+    graph_path = tmp_path / "graph.tsv"
+    sets_path = tmp_path / "sets.json"
+    write_edge_list(graph, graph_path)
+    write_node_sets(
+        {"A": [0, 1, 2, 3], "B": [10, 11, 12], "C": [20, 21, 22]}, sets_path
+    )
+    return graph_path, sets_path
+
+
+class TestTwoWayCommand:
+    def test_text_output(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        code = main([
+            "two-way", str(graph_path), "--sets", str(sets_path),
+            "--left", "A", "--right", "B", "-k", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "h_d" in out
+        assert out.count("\n") == 3
+
+    def test_json_output(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        code = main([
+            "two-way", str(graph_path), "--sets", str(sets_path),
+            "--left", "A", "--right", "B", "-k", "2", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 2
+        assert {"left", "right", "score"} <= set(data[0])
+        assert data[0]["score"] >= data[1]["score"]
+
+    def test_dht_e_measure(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        code = main([
+            "two-way", str(graph_path), "--sets", str(sets_path),
+            "--left", "A", "--right", "B", "-k", "1",
+            "--measure", "dht-e", "--json",
+        ])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)
+
+    def test_unknown_set_name(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        code = main([
+            "two-way", str(graph_path), "--sets", str(sets_path),
+            "--left", "A", "--right", "ZZZ",
+        ])
+        assert code == 2
+        assert "ZZZ" in capsys.readouterr().err
+
+    def test_missing_graph_file(self, workspace, capsys):
+        _, sets_path = workspace
+        code = main([
+            "two-way", "/nonexistent.tsv", "--sets", str(sets_path),
+            "--left", "A", "--right", "B",
+        ])
+        assert code == 2
+
+
+class TestMultiWayCommand:
+    def test_chain_json(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        code = main([
+            "multi-way", str(graph_path), "--sets", str(sets_path),
+            "--node-sets", "A", "B", "C", "--shape", "chain",
+            "-k", "3", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data and len(data[0]["nodes"]) == 3
+        assert len(data[0]["edge_scores"]) == 2
+
+    def test_triangle_shape(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        code = main([
+            "multi-way", str(graph_path), "--sets", str(sets_path),
+            "--node-sets", "A", "B", "C", "--shape", "triangle",
+            "-k", "2", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data[0]["edge_scores"]) == 6  # bidirectional triangle
+
+    def test_triangle_wrong_arity(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        code = main([
+            "multi-way", str(graph_path), "--sets", str(sets_path),
+            "--node-sets", "A", "B", "--shape", "triangle",
+        ])
+        assert code == 2
+
+    def test_algorithms_agree(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        scores = {}
+        for algorithm in ("nl", "pj-i"):
+            main([
+                "multi-way", str(graph_path), "--sets", str(sets_path),
+                "--node-sets", "A", "B", "--shape", "chain",
+                "-k", "3", "--algorithm", algorithm, "--json",
+            ])
+            data = json.loads(capsys.readouterr().out)
+            scores[algorithm] = [round(a["score"], 9) for a in data]
+        assert scores["nl"] == scores["pj-i"]
+
+    def test_sum_aggregate(self, workspace, capsys):
+        graph_path, sets_path = workspace
+        code = main([
+            "multi-way", str(graph_path), "--sets", str(sets_path),
+            "--node-sets", "A", "B", "C", "--aggregate", "SUM",
+            "-k", "1", "--json",
+        ])
+        assert code == 0
+        answer = json.loads(capsys.readouterr().out)[0]
+        assert answer["score"] == pytest.approx(sum(answer["edge_scores"]))
+
+
+class TestStatsCommand:
+    def test_text(self, workspace, capsys):
+        graph_path, _ = workspace
+        assert main(["stats", str(graph_path)]) == 0
+        assert "num_nodes" in capsys.readouterr().out
+
+    def test_json(self, workspace, capsys):
+        graph_path, _ = workspace
+        assert main(["stats", str(graph_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_nodes"] == 25.0

@@ -1,0 +1,252 @@
+"""Unit tests for the dataset substitutes and split derivations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.splits import (
+    cross_edges,
+    enumerate_cross_cliques,
+    remove_edge_per_clique,
+    remove_random_cross_edges,
+)
+from repro.datasets.synthetic import (
+    community_graph_edges,
+    pareto_activity,
+    partition_sizes,
+    sample_weighted_edges,
+)
+from repro.datasets.yeast import PARTITION_NAMES, generate_yeast
+from repro.datasets.youtube import generate_youtube
+from repro.graph.builders import complete_graph
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError
+
+
+class TestSyntheticPrimitives:
+    def test_pareto_activity_normalised(self, rng):
+        act = pareto_activity(100, 1.8, rng)
+        assert act.sum() == pytest.approx(1.0)
+        assert np.all(act > 0)
+        # heavy tail: the max dwarfs the median
+        assert act.max() > 5 * np.median(act)
+
+    def test_pareto_validation(self, rng):
+        with pytest.raises(GraphValidationError):
+            pareto_activity(0, 1.8, rng)
+        with pytest.raises(GraphValidationError):
+            pareto_activity(10, -1.0, rng)
+
+    def test_sample_weighted_edges_distinct(self, rng):
+        act = pareto_activity(50, 2.0, rng)
+        edges = sample_weighted_edges(range(50), act, 60, rng, weight_mean=2.0)
+        keys = [(u, v) for u, v, _ in edges]
+        assert len(keys) == len(set(keys))
+        assert all(u < v for u, v, _ in edges)
+        assert all(w >= 1.0 for _, _, w in edges)
+
+    def test_sample_weighted_edges_tiny_member_set(self, rng):
+        act = pareto_activity(5, 2.0, rng)
+        assert sample_weighted_edges([3], act, 10, rng) == []
+
+    def test_community_edges_mostly_within(self, rng):
+        act = pareto_activity(60, 2.0, rng)
+        communities = [list(range(30)), list(range(30, 60))]
+        edges = community_graph_edges(
+            communities, act, within_degree=6.0, cross_degree=0.5, rng=rng
+        )
+        within = sum(1 for u, v, _ in edges if (u < 30) == (v < 30))
+        cross = len(edges) - within
+        assert within > 3 * cross
+
+    def test_partition_sizes_sum(self):
+        sizes = partition_sizes(100, [0.5, 0.3, 0.2])
+        assert sum(sizes) == 100
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_partition_sizes_no_zero(self):
+        sizes = partition_sizes(5, [0.96, 0.01, 0.01, 0.01, 0.01])
+        assert sum(sizes) == 5
+        assert all(s >= 1 for s in sizes)
+
+
+class TestDBLP:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_dblp(authors_per_area=120, num_labs=3, seed=1)
+
+    def test_scale_and_areas(self, data):
+        assert data.graph.num_nodes == 360
+        assert set(data.areas) == {"DB", "AI", "SYS"}
+        assert all(len(v) == 120 for v in data.areas.values())
+
+    def test_labels_attached(self, data):
+        assert data.graph.has_labels
+        assert "-" in data.graph.label(0)
+
+    def test_labs_span_areas_with_heavy_edges(self, data):
+        for lab in data.labs:
+            assert len(lab.members) == 3
+            areas = [
+                next(a for a, members in data.areas.items() if m in members)
+                for m in lab.members
+            ]
+            assert sorted(areas) == ["AI", "DB", "SYS"]
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    assert data.graph.weight(lab.members[i], lab.members[j]) >= 12.0
+
+    def test_edge_years_cover_undirected_edges(self, data):
+        undirected = sum(1 for u, v, _ in data.graph.edges() if u < v)
+        assert len(data.edge_years) == undirected
+        assert all(2000 <= y <= 2012 for y in data.edge_years.values())
+
+    def test_snapshot_before_removes_recent(self, data):
+        snapshot = data.snapshot_before(2010)
+        recent = [(u, v) for (u, v), y in data.edge_years.items() if y >= 2010]
+        assert recent, "sanity: some edges should be post-cutoff"
+        for u, v in recent:
+            assert not snapshot.has_edge(u, v)
+        old = [(u, v) for (u, v), y in data.edge_years.items() if y < 2010]
+        for u, v in old[:50]:
+            assert snapshot.has_edge(u, v)
+
+    def test_top_authors_ranked_by_volume(self, data):
+        top = data.top_authors("DB", 10)
+        assert len(top) == 10
+        volumes = [
+            sum(data.graph.out_neighbors(u).values()) for u in top
+        ]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_seed_determinism(self):
+        a = generate_dblp(authors_per_area=60, seed=9)
+        b = generate_dblp(authors_per_area=60, seed=9)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_size_validation(self):
+        with pytest.raises(GraphValidationError):
+            generate_dblp(authors_per_area=5)
+
+
+class TestYeast:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_yeast(num_proteins=800, seed=1)
+
+    def test_thirteen_disjoint_covering_partitions(self, data):
+        assert set(data.partitions) == set(PARTITION_NAMES)
+        seen = []
+        for members in data.partitions.values():
+            seen.extend(members)
+        assert len(seen) == data.graph.num_nodes
+        assert len(set(seen)) == data.graph.num_nodes
+
+    def test_largest_pair_is_3u_8d(self, data):
+        left, right = data.largest_pair
+        sizes = sorted(
+            ((len(v), k) for k, v in data.partitions.items()), reverse=True
+        )
+        assert {sizes[0][1], sizes[1][1]} == {"3-U", "8-D"}
+        assert left == data.partitions["3-U"]
+
+    def test_paper_scale_defaults(self):
+        data = generate_yeast()
+        assert data.graph.num_nodes == 2400
+        undirected = data.graph.num_edges // 2
+        assert 5000 < undirected < 11000  # ~7.2k target, generative noise
+
+    def test_validation(self):
+        with pytest.raises(GraphValidationError):
+            generate_yeast(num_proteins=10)
+
+
+class TestYouTube:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_youtube(num_users=2000, num_groups=10, seed=1)
+
+    def test_scale(self, data):
+        assert data.graph.num_nodes == 2000
+        # preferential attachment with m=3: ~3 edges per node
+        assert 2.0 < data.graph.num_edges / 2 / 2000 < 4.0
+
+    def test_groups_numbered_from_one(self, data):
+        assert set(data.groups) == set(range(1, 11))
+        assert len(data.group(1)) >= 5
+
+    def test_groups_are_local(self, data):
+        # Random-walk grown groups should have far more internal edges
+        # than a random node set of the same size would.
+        group = data.group(1)
+        member_set = set(group)
+        internal = sum(
+            1
+            for u in group
+            for v in data.graph.out_neighbors(u)
+            if v in member_set
+        )
+        assert internal >= len(group)  # dense by random-set standards
+
+    def test_validation(self):
+        with pytest.raises(GraphValidationError):
+            generate_youtube(num_users=10)
+
+
+class TestSplits:
+    @pytest.fixture
+    def clustered(self):
+        # Two cliques bridged by cross edges: easy to reason about.
+        edges = []
+        for u in range(5):
+            for v in range(u + 1, 5):
+                edges.append((u, v, 1.0))
+                edges.append((u + 5, v + 5, 1.0))
+        edges += [(0, 5, 1.0), (1, 6, 1.0), (2, 7, 1.0), (3, 8, 1.0)]
+        return Graph.from_undirected_edges(10, edges)
+
+    def test_cross_edges(self, clustered):
+        pairs = cross_edges(clustered, [0, 1, 2, 3, 4], [5, 6, 7, 8, 9])
+        assert sorted(pairs) == [(0, 5), (1, 6), (2, 7), (3, 8)]
+
+    def test_remove_random_cross_edges(self, clustered):
+        split = remove_random_cross_edges(
+            clustered, [0, 1, 2, 3, 4], [5, 6, 7, 8, 9], fraction=0.5, seed=4
+        )
+        assert len(split.removed_pairs) == 2
+        for u, v in split.removed_pairs:
+            assert clustered.has_edge(u, v)
+            assert not split.test_graph.has_edge(u, v)
+            assert not split.test_graph.has_edge(v, u)
+
+    def test_remove_requires_cross_edges(self, clustered):
+        with pytest.raises(GraphValidationError, match="no cross edges"):
+            remove_random_cross_edges(clustered, [0], [9], seed=1)
+
+    def test_fraction_validation(self, clustered):
+        with pytest.raises(GraphValidationError):
+            remove_random_cross_edges(clustered, [0], [5], fraction=0.0)
+
+    def test_enumerate_cross_cliques(self):
+        g = complete_graph(6)
+        cliques = enumerate_cross_cliques(g, [0, 1], [2, 3], [4, 5])
+        assert len(cliques) == 8  # 2 * 2 * 2, all connected
+        assert all(
+            g.has_edge(p, q) and g.has_edge(q, r) and g.has_edge(p, r)
+            for p, q, r in cliques
+        )
+
+    def test_remove_edge_per_clique_damages_every_clique(self):
+        g = complete_graph(6)
+        split = remove_edge_per_clique(g, [0, 1], [2, 3], [4, 5], seed=2)
+        for p, q, r in split.cliques:
+            intact = (
+                split.test_graph.has_edge(p, q)
+                and split.test_graph.has_edge(q, r)
+                and split.test_graph.has_edge(p, r)
+            )
+            assert not intact
+
+    def test_remove_edge_per_clique_requires_cliques(self, clustered):
+        with pytest.raises(GraphValidationError, match="no cross-set"):
+            remove_edge_per_clique(clustered, [0], [5], [9], seed=1)

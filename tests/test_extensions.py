@@ -1,0 +1,198 @@
+"""Unit tests for the future-work extensions: PPR and SimRank joins."""
+
+import numpy as np
+import pytest
+
+from repro.core.nway.aggregates import MIN, SUM
+from repro.core.nway.query_graph import QueryGraph
+from repro.core.two_way.base import sort_pairs
+from repro.extensions.measures import DHTMeasure, TruncatedPPR, exact_ppr_to_target
+from repro.extensions.series_join import (
+    SeriesBackwardJoin,
+    SeriesIDJ,
+    series_multi_way_join,
+    series_two_way_join,
+)
+from repro.extensions.simrank import (
+    SimRankJoin,
+    simrank_matrix,
+    simrank_multi_way_join,
+)
+from repro.graph.builders import complete_graph, path_graph
+from repro.graph.digraph import Graph
+from repro.graph.validation import GraphValidationError
+from repro.walks.engine import WalkEngine
+
+
+class TestTruncatedPPR:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedPPR(damping=1.0)
+        with pytest.raises(ValueError):
+            TruncatedPPR(damping=0.5, epsilon=2.0)
+
+    def test_depth_achieves_epsilon(self):
+        measure = TruncatedPPR(damping=0.85, epsilon=1e-4)
+        assert measure.damping ** (measure.d + 1) <= 1e-4 * (1 + 1e-12)
+
+    def test_matches_exact_linear_solve(self, random_graph):
+        measure = TruncatedPPR(damping=0.7, epsilon=1e-10)
+        engine = WalkEngine(random_graph)
+        for target in (0, 13):
+            truncated = measure.backward_scores(engine, target, measure.d)
+            exact = exact_ppr_to_target(random_graph, 0.7, target)
+            assert np.allclose(truncated, exact, atol=1e-8)
+
+    def test_self_score_highest(self, random_graph):
+        # A PPR walker restarts at itself, so pi_v(v) dominates.
+        measure = TruncatedPPR(damping=0.85)
+        engine = WalkEngine(random_graph)
+        scores = measure.backward_scores(engine, 5, measure.d)
+        assert scores[5] == max(scores)
+
+    def test_tail_bound_valid(self, random_graph):
+        measure = TruncatedPPR(damping=0.6, epsilon=1e-8)
+        engine = WalkEngine(random_graph)
+        full = measure.backward_scores(engine, 7, measure.d)
+        for level in (1, 2, 4):
+            partial = measure.backward_scores(engine, 7, level)
+            assert np.all(full <= partial + measure.tail_bound(level) + 1e-12)
+            assert np.all(partial <= full + 1e-12)  # monotone in depth
+
+
+class TestSeriesJoins:
+    @pytest.mark.parametrize(
+        "measure_factory",
+        [lambda: TruncatedPPR(damping=0.7, epsilon=1e-6), lambda: DHTMeasure()],
+    )
+    def test_idj_equals_basic(self, random_graph, measure_factory):
+        left, right = list(range(8)), list(range(20, 30))
+        basic = SeriesBackwardJoin(
+            random_graph, measure_factory(), left, right
+        ).top_k(10)
+        pruned = SeriesIDJ(random_graph, measure_factory(), left, right).top_k(10)
+        assert np.allclose(
+            [p.score for p in basic], [p.score for p in pruned]
+        )
+
+    def test_dht_measure_matches_core(self, random_graph, params):
+        from repro.core.two_way.backward import BackwardBasicJoin
+        from repro.core.two_way.base import make_context
+
+        left, right = list(range(6)), list(range(25, 33))
+        measure = DHTMeasure(params)
+        ext = SeriesBackwardJoin(random_graph, measure, left, right).top_k(5)
+        core = BackwardBasicJoin(
+            make_context(random_graph, left, right, params=params, d=measure.d)
+        ).top_k(5)
+        assert np.allclose([p.score for p in ext], [p.score for p in core])
+
+    def test_two_way_facade(self, random_graph):
+        measure = TruncatedPPR()
+        result = series_two_way_join(
+            random_graph, [0, 1], [20, 21], k=3, measure=measure
+        )
+        assert len(result) == 3
+        scores = [p.score for p in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_two_way_facade_unknown_algorithm(self, random_graph):
+        with pytest.raises(GraphValidationError, match="unknown series"):
+            series_two_way_join(
+                random_graph, [0], [5], k=1,
+                measure=TruncatedPPR(), algorithm="magic",
+            )
+
+    def test_multi_way_ppr_matches_brute_force(self, random_graph):
+        measure = TruncatedPPR(damping=0.7)
+        sets = [[0, 1, 2], [10, 11, 12], [20, 21, 22]]
+        query = QueryGraph.chain(3)
+        got = series_multi_way_join(
+            random_graph, query, sets, k=5, measure=measure, aggregate=SUM
+        )
+        # Brute force from full pair tables.
+        engine = WalkEngine(random_graph)
+        table = {}
+        for q in sets[1] + sets[2]:
+            scores = measure.backward_scores(engine, q, measure.d)
+            for p in sets[0] + sets[1]:
+                table[(p, q)] = float(scores[p])
+        import itertools
+
+        expected = sorted(
+            (
+                (table[(a, b)] + table[(b, c)], (a, b, c))
+                for a, b, c in itertools.product(*sets)
+            ),
+            key=lambda t: (-t[0], t[1]),
+        )[:5]
+        assert np.allclose([a.score for a in got], [e[0] for e in expected])
+
+    def test_multi_way_set_count_mismatch(self, random_graph):
+        with pytest.raises(GraphValidationError):
+            series_multi_way_join(
+                random_graph, QueryGraph.chain(3), [[0], [1]], k=1,
+                measure=TruncatedPPR(),
+            )
+
+
+class TestSimRank:
+    def test_identity_diagonal(self, random_graph):
+        sim = simrank_matrix(random_graph, iterations=4)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_symmetric_on_undirected(self, random_graph):
+        sim = simrank_matrix(random_graph, iterations=5)
+        assert np.allclose(sim, sim.T, atol=1e-12)
+
+    def test_range(self, random_graph):
+        sim = simrank_matrix(random_graph, iterations=5)
+        assert np.all(sim >= -1e-12) and np.all(sim <= 1.0 + 1e-12)
+
+    def test_hand_case_two_leaves(self):
+        # Star 0-1, 0-2: leaves 1 and 2 share the single in-neighbour 0,
+        # so s(1,2) converges to C * s(0,0) = C.
+        g = Graph.from_undirected_edges(3, [(0, 1, 1.0), (0, 2, 1.0)])
+        sim = simrank_matrix(g, decay=0.8, iterations=30)
+        assert sim[1, 2] == pytest.approx(0.8, abs=1e-6)
+
+    def test_fixed_point_residual_shrinks(self, random_graph):
+        early = simrank_matrix(random_graph, iterations=3)
+        late = simrank_matrix(random_graph, iterations=12)
+        later = simrank_matrix(random_graph, iterations=13)
+        assert np.max(np.abs(later - late)) < np.max(np.abs(late - early))
+
+    def test_validation(self, random_graph):
+        with pytest.raises(GraphValidationError):
+            simrank_matrix(random_graph, decay=1.5)
+        with pytest.raises(GraphValidationError):
+            simrank_matrix(random_graph, iterations=0)
+
+    def test_join_ranks_structurally_similar_nodes(self):
+        # Two hubs with identical leaf sets should be most SimRank-alike.
+        edges = [(0, i, 1.0) for i in range(2, 6)] + [(1, i, 1.0) for i in range(2, 6)]
+        g = Graph.from_undirected_edges(6, edges)
+        result = SimRankJoin(g, [0], [1, 2, 3], iterations=8).top_k(1)
+        assert result[0].right == 1
+
+    def test_join_excludes_reflexive(self, random_graph):
+        result = SimRankJoin(random_graph, [0, 1], [1, 2], iterations=3).top_k(10)
+        assert all(p.left != p.right for p in result)
+
+    def test_multi_way_join_runs(self, random_graph):
+        answers = simrank_multi_way_join(
+            random_graph,
+            QueryGraph.chain(3),
+            [[0, 1], [10, 11], [20, 21]],
+            k=3,
+            iterations=4,
+        )
+        assert answers
+        scores = [a.score for a in answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_multi_way_set_count_mismatch(self, random_graph):
+        with pytest.raises(GraphValidationError):
+            simrank_multi_way_join(
+                random_graph, QueryGraph.chain(2), [[0]], k=1
+            )

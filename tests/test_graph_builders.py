@@ -1,0 +1,130 @@
+"""Unit tests for the deterministic and random graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    directed_cycle,
+    duplication_divergence,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    planted_partition,
+    preferential_attachment,
+    random_directed,
+    star_graph,
+)
+from repro.graph.validation import GraphValidationError
+
+
+class TestDeterministicBuilders:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 6  # 3 undirected edges -> 6 arcs
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 10
+        assert g.has_edge(4, 0)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphValidationError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.num_nodes == 5
+        assert g.out_degree(0) == 4
+        assert g.out_degree(3) == 1
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+        for u in range(4):
+            assert g.out_degree(u) == 3
+
+    def test_grid(self):
+        g = grid_graph(2, 3)
+        assert g.num_nodes == 6
+        # corner (0,0): right + down
+        assert g.out_degree(0) == 2
+        # middle of top row (0,1): left, right, down
+        assert g.out_degree(1) == 3
+
+    def test_directed_cycle_is_one_way(self):
+        g = directed_cycle(4)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.has_edge(3, 0)
+
+    def test_directed_cycle_too_small(self):
+        with pytest.raises(GraphValidationError):
+            directed_cycle(1)
+
+
+class TestRandomBuilders:
+    def test_erdos_renyi_edge_count_plausible(self, rng):
+        g = erdos_renyi(60, 0.1, rng)
+        expected = 0.1 * 60 * 59 / 2
+        assert 0.4 * expected < g.num_edges / 2 < 1.8 * expected
+
+    def test_erdos_renyi_weighted(self, rng):
+        g = erdos_renyi(30, 0.2, rng, weighted=True, max_weight=5)
+        weights = {w for _, _, w in g.edges()}
+        assert weights <= {1.0, 2.0, 3.0, 4.0, 5.0}
+        assert len(weights) > 1
+
+    def test_erdos_renyi_bad_p(self, rng):
+        with pytest.raises(GraphValidationError):
+            erdos_renyi(10, 1.5, rng)
+
+    def test_preferential_attachment_degree_skew(self, rng):
+        g = preferential_attachment(400, 3, rng)
+        degrees = sorted((g.out_degree(u) for u in g.nodes()), reverse=True)
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+        assert min(degrees) >= 3
+
+    def test_preferential_attachment_needs_enough_nodes(self, rng):
+        with pytest.raises(GraphValidationError):
+            preferential_attachment(3, 3, rng)
+
+    def test_duplication_divergence_connected_to_ancestors(self, rng):
+        g = duplication_divergence(200, 0.3, rng)
+        # Every non-seed node has at least the ancestor link.
+        assert all(g.out_degree(u) >= 1 for u in g.nodes())
+
+    def test_duplication_divergence_bad_retention(self, rng):
+        with pytest.raises(GraphValidationError):
+            duplication_divergence(50, 0.0, rng)
+
+    def test_planted_partition_structure(self, rng):
+        g, communities = planted_partition([20, 20], 0.5, 0.02, rng)
+        assert g.num_nodes == 40
+        assert [len(c) for c in communities] == [20, 20]
+        within = cross = 0
+        first = set(communities[0])
+        for u, v, _ in g.edges():
+            if u < v:
+                if (u in first) == (v in first):
+                    within += 1
+                else:
+                    cross += 1
+        assert within > cross
+
+    def test_planted_partition_bad_probs(self, rng):
+        with pytest.raises(GraphValidationError):
+            planted_partition([5, 5], 0.1, 0.5, rng)  # p_out > p_in
+
+    def test_random_directed_no_self_loops(self, rng):
+        g = random_directed(20, 0.3, rng)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_builders_are_seed_deterministic(self):
+        g1 = erdos_renyi(30, 0.2, np.random.default_rng(42), weighted=True)
+        g2 = erdos_renyi(30, 0.2, np.random.default_rng(42), weighted=True)
+        assert sorted(g1.edges()) == sorted(g2.edges())

@@ -1,0 +1,89 @@
+"""Unit tests for graph/node-set serialisation."""
+
+import pytest
+
+from repro.graph.builders import path_graph
+from repro.graph.digraph import Graph
+from repro.graph.io import (
+    read_edge_list,
+    read_labels,
+    read_node_sets,
+    write_edge_list,
+    write_labels,
+    write_node_sets,
+)
+from repro.graph.validation import GraphValidationError
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, tiny_directed):
+        path = tmp_path / "g.tsv"
+        write_edge_list(tiny_directed, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == tiny_directed.num_nodes
+        assert sorted(loaded.edges()) == sorted(tiny_directed.edges())
+
+    def test_roundtrip_preserves_isolated_nodes(self, tmp_path):
+        g = Graph(5, [(0, 1, 1.0)])
+        path = tmp_path / "g.tsv"
+        write_edge_list(g, path)
+        assert read_edge_list(path).num_nodes == 5
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("0\t1\t1.0\n")
+        with pytest.raises(GraphValidationError, match="header"):
+            read_edge_list(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("# nodes: 2\n0 1 1.0\n")
+        with pytest.raises(GraphValidationError, match="expected"):
+            read_edge_list(path)
+
+    def test_default_weight_is_one(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("# nodes: 2\n0\t1\n")
+        g = read_edge_list(path)
+        assert g.weight(0, 1) == 1.0
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("# nodes: 2\n\n# a comment\n0\t1\t2.0\n")
+        assert read_edge_list(path).num_edges == 1
+
+
+class TestNodeSets:
+    def test_roundtrip(self, tmp_path):
+        sets = {"DB": [1, 2, 3], "AI": [4, 5]}
+        path = tmp_path / "sets.json"
+        write_node_sets(sets, path)
+        assert read_node_sets(path) == sets
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "sets.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(GraphValidationError):
+            read_node_sets(path)
+
+
+class TestLabels:
+    def test_roundtrip(self, tmp_path):
+        labels = ["alice", "bob smith", "carol\twith tab".replace("\t", " ")]
+        path = tmp_path / "labels.tsv"
+        write_labels(labels, path)
+        assert read_labels(path) == labels
+
+    def test_sparse_ids_rejected(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("0\ta\n2\tc\n")
+        with pytest.raises(GraphValidationError, match="dense"):
+            read_labels(path)
+
+    def test_graph_with_loaded_labels(self, tmp_path):
+        g = path_graph(3)
+        gpath, lpath = tmp_path / "g.tsv", tmp_path / "l.tsv"
+        write_edge_list(g, gpath)
+        write_labels(["x", "y", "z"], lpath)
+        loaded = read_edge_list(gpath, labels=read_labels(lpath))
+        assert loaded.label(2) == "z"

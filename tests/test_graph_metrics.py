@@ -1,0 +1,95 @@
+"""Unit tests for structural graph metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import complete_graph, path_graph, star_graph
+from repro.graph.digraph import Graph
+from repro.graph.metrics import (
+    average_clustering_coefficient,
+    connected_components,
+    degree_histogram,
+    summarize,
+    undirected_neighbor_sets,
+)
+
+
+class TestDegreeHistogram:
+    def test_path(self):
+        hist = degree_histogram(path_graph(4))
+        assert hist[1] == 2  # endpoints
+        assert hist[2] == 2  # middle nodes
+
+    def test_star(self):
+        hist = degree_histogram(star_graph(5))
+        assert hist[1] == 5
+        assert hist[5] == 1
+
+    def test_counts_undirected_once(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 0, 2.0)])  # both arcs, one edge
+        hist = degree_histogram(g)
+        assert hist[1] == 2
+
+    def test_empty(self):
+        assert degree_histogram(Graph(0, [])).tolist() == [0]
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert average_clustering_coefficient(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        assert average_clustering_coefficient(star_graph(6)) == 0.0
+
+    def test_triangle_plus_tail(self):
+        # Triangle 0-1-2 with tail 2-3: c(0)=c(1)=1, c(2)=1/3, c(3)=0.
+        g = Graph.from_undirected_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0)]
+        )
+        assert average_clustering_coefficient(g) == pytest.approx(
+            (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0
+        )
+
+    def test_sampled_estimate_close(self, random_graph):
+        exact = average_clustering_coefficient(random_graph)
+        sampled = average_clustering_coefficient(random_graph, sample=30, seed=1)
+        assert abs(exact - sampled) < 0.25
+
+
+class TestComponents:
+    def test_single_component(self):
+        components = connected_components(path_graph(5))
+        assert len(components) == 1
+        assert components[0] == [0, 1, 2, 3, 4]
+
+    def test_multiple_components_sorted_by_size(self):
+        g = Graph.from_undirected_edges(
+            6, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]
+        )
+        components = connected_components(g)
+        assert [len(c) for c in components] == [3, 2, 1]
+        assert components[0] == [2, 3, 4]
+        assert components[2] == [5]
+
+
+class TestSummary:
+    def test_summary_fields(self, random_graph):
+        summary = summarize(random_graph)
+        assert summary["num_nodes"] == random_graph.num_nodes
+        assert summary["num_undirected_edges"] == random_graph.num_edges / 2
+        assert 0.0 <= summary["clustering"] <= 1.0
+        assert summary["largest_component"] <= summary["num_nodes"]
+
+    def test_dataset_substitutes_have_clustering(self):
+        # The property the link-prediction experiments rely on: the
+        # substitutes must be locally clustered, unlike ER noise.
+        from repro.datasets import generate_yeast, generate_youtube
+        from repro.graph.builders import erdos_renyi
+
+        yeast = generate_yeast(num_proteins=600, seed=3).graph
+        youtube = generate_youtube(num_users=2000, num_groups=5, seed=3).graph
+        noise = erdos_renyi(600, 2 * 3.0 / 600, np.random.default_rng(3))
+        c_noise = average_clustering_coefficient(noise, sample=300, seed=0)
+        for clustered in (yeast, youtube):
+            c = average_clustering_coefficient(clustered, sample=300, seed=0)
+            assert c > 3 * max(c_noise, 0.005)

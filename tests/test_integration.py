@@ -1,0 +1,102 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test walks a full user journey: generate a dataset, persist and
+reload it, run joins with the public API, and evaluate effectiveness —
+the composition the examples and benchmarks rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MIN, QueryGraph, multi_way_join, two_way_join
+from repro.datasets import (
+    generate_dblp,
+    generate_yeast,
+    generate_youtube,
+    remove_random_cross_edges,
+)
+from repro.eval import evaluate_link_prediction
+from repro.graph.io import (
+    read_edge_list,
+    read_node_sets,
+    write_edge_list,
+    write_node_sets,
+)
+
+
+class TestPersistenceRoundTrip:
+    def test_generated_dataset_survives_disk(self, tmp_path):
+        data = generate_yeast(num_proteins=300, seed=5)
+        graph_path = tmp_path / "yeast.tsv"
+        sets_path = tmp_path / "partitions.json"
+        write_edge_list(data.graph, graph_path)
+        write_node_sets(data.partitions, sets_path)
+
+        graph = read_edge_list(graph_path)
+        partitions = read_node_sets(sets_path)
+        left, right = partitions["3-U"][:20], partitions["8-D"][:20]
+
+        direct = two_way_join(data.graph, left, right, k=5)
+        reloaded = two_way_join(graph, left, right, k=5)
+        assert np.allclose(
+            [p.score for p in direct], [p.score for p in reloaded]
+        )
+
+
+class TestExpertFindingJourney:
+    def test_triangle_beats_chain_on_lab_recovery(self):
+        data = generate_dblp(authors_per_area=150, num_labs=3, seed=21)
+        sets = [data.top_authors(a, 40) for a in ("DB", "AI", "SYS")]
+        triangle = multi_way_join(
+            data.graph, QueryGraph.triangle(), sets, k=3, m=20
+        )
+        lab_members = {m for lab in data.labs for m in lab.members}
+        assert lab_members.issuperset(triangle[0].nodes)
+
+    def test_all_algorithms_agree_on_dataset_graph(self):
+        data = generate_dblp(authors_per_area=100, num_labs=2, seed=9)
+        sets = [data.top_authors(a, 5) for a in ("DB", "AI", "SYS")]
+        query = QueryGraph.chain(3)
+        scores = {}
+        for algorithm in ("nl", "ap", "pj", "pj-i"):
+            answers = multi_way_join(
+                data.graph, query, sets, k=4, algorithm=algorithm, m=2
+            )
+            scores[algorithm] = [round(a.score, 9) for a in answers]
+        assert scores["nl"] == scores["ap"] == scores["pj"] == scores["pj-i"]
+
+
+class TestLinkPredictionJourney:
+    def test_yeast_pipeline_beats_chance(self):
+        data = generate_yeast(num_proteins=500, seed=13)
+        left, right = data.largest_pair
+        split = remove_random_cross_edges(
+            data.graph, left, right, fraction=0.5, seed=13
+        )
+        result = evaluate_link_prediction(
+            data.graph, split.test_graph, left, right, d=6
+        )
+        assert result.auc > 0.8
+
+    def test_dblp_snapshot_pipeline(self):
+        data = generate_dblp(authors_per_area=200, seed=17)
+        test_graph = data.snapshot_before(2010)
+        result = evaluate_link_prediction(
+            data.graph, test_graph, data.areas["DB"], data.areas["AI"], d=6
+        )
+        assert result.auc > 0.7
+
+
+class TestStarJourney:
+    def test_six_way_star_over_youtube_groups(self):
+        data = generate_youtube(num_users=1500, num_groups=7, seed=3)
+        sets = [data.group(gid)[:15] for gid in range(1, 7)]
+        answers = multi_way_join(
+            data.graph, QueryGraph.star(5), sets, k=2,
+            aggregate=MIN, m=15,
+        )
+        assert answers
+        assert len(answers[0].nodes) == 6
+        # The star centre's score is the MIN over 10 directed edges.
+        assert len(answers[0].edge_scores) == 10
+        assert answers[0].score == pytest.approx(min(answers[0].edge_scores))

@@ -1,0 +1,132 @@
+"""Unit tests for the query-graph model (Definition 1 and Fig. 2 shapes)."""
+
+import pytest
+
+from repro.core.nway.query_graph import QueryGraph
+from repro.graph.validation import GraphValidationError
+
+
+class TestConstruction:
+    def test_minimal(self):
+        q = QueryGraph(2, [(0, 1)])
+        assert q.num_vertices == 2
+        assert q.edges == [(0, 1)]
+        assert q.num_edges == 1
+
+    def test_both_directions_are_distinct_edges(self):
+        q = QueryGraph(2, [(0, 1), (1, 0)])
+        assert q.num_edges == 2
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            QueryGraph(2, [(0, 1), (0, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphValidationError, match="self-loop"):
+            QueryGraph(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphValidationError, match="out of range"):
+            QueryGraph(2, [(0, 5)])
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(GraphValidationError, match="at least one edge"):
+            QueryGraph(2, [])
+
+    def test_uncovered_vertex_rejected(self):
+        with pytest.raises(GraphValidationError, match="no incident edges"):
+            QueryGraph(3, [(0, 1)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphValidationError, match="connected"):
+            QueryGraph(4, [(0, 1), (2, 3)])
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(GraphValidationError):
+            QueryGraph(1, [])
+
+    def test_names(self):
+        q = QueryGraph(2, [(0, 1)], names=["DB", "AI"])
+        assert q.name(0) == "DB"
+        assert q.edge_name(0) == "DB->AI"
+
+    def test_default_names(self):
+        q = QueryGraph(2, [(0, 1)])
+        assert q.name(1) == "R2"
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(GraphValidationError):
+            QueryGraph(2, [(0, 1)], names=["only one"])
+
+
+class TestShapes:
+    def test_chain(self):
+        q = QueryGraph.chain(4)
+        assert q.edges == [(0, 1), (1, 2), (2, 3)]
+
+    def test_chain_bidirectional(self):
+        q = QueryGraph.chain(3, bidirectional=True)
+        assert set(q.edges) == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_cycle(self):
+        q = QueryGraph.cycle(3)
+        assert set(q.edges) == {(0, 1), (1, 2), (2, 0)}
+
+    def test_triangle_default_bidirectional(self):
+        # Footnote 2: drawn lines denote both directions.
+        q = QueryGraph.triangle()
+        assert q.num_edges == 6
+
+    def test_star(self):
+        q = QueryGraph.star(5, bidirectional=False)
+        assert q.num_vertices == 6
+        assert all(edge[0] == 0 for edge in q.edges)
+
+    def test_star_bidirectional(self):
+        q = QueryGraph.star(2)
+        assert set(q.edges) == {(0, 1), (1, 0), (0, 2), (2, 0)}
+
+    def test_clique(self):
+        q = QueryGraph.clique(4)
+        assert q.num_edges == 6
+        q2 = QueryGraph.clique(4, bidirectional=True)
+        assert q2.num_edges == 12
+
+    def test_star_needs_satellite(self):
+        with pytest.raises(GraphValidationError):
+            QueryGraph.star(0)
+
+    def test_cycle_needs_three(self):
+        with pytest.raises(GraphValidationError):
+            QueryGraph.cycle(2)
+
+
+class TestExpansionOrder:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            QueryGraph.chain(4),
+            QueryGraph.triangle(),
+            QueryGraph.star(4),
+            QueryGraph.clique(4),
+            QueryGraph.cycle(5, bidirectional=True),
+        ],
+    )
+    def test_every_start_edge_yields_anchored_order(self, query):
+        for start in range(query.num_edges):
+            order = query.expansion_order(start)
+            assert sorted(order + [start]) == list(range(query.num_edges))
+            assigned = set(query.edges[start])
+            for e in order:
+                i, j = query.edges[e]
+                assert i in assigned or j in assigned
+                assigned.update((i, j))
+            assert assigned == set(range(query.num_vertices))
+
+    def test_order_cached(self):
+        q = QueryGraph.chain(3)
+        assert q.expansion_order(0) == q.expansion_order(0)
+
+    def test_bad_start_edge(self):
+        with pytest.raises(GraphValidationError):
+            QueryGraph.chain(3).expansion_order(99)
