@@ -1,0 +1,184 @@
+"""Walk-engine perf trajectory: batched / resumable / cached kernels.
+
+Measures the three walk-layer primitives against the seed per-target
+paths on synthetic graphs (2k-20k nodes, hub-heavy power-law and
+bounded-degree Erdos-Renyi topologies — the two regimes of the
+degree-aware kernel):
+
+* ``B-BJ.all_pairs`` batched block propagation vs. the per-target
+  kernel (``block_size=1``) — wall-clock speedup;
+* resumable ``B-IDJ-Y`` vs. the restart-per-level seed implementation —
+  propagation-step counts from the engine instrumentation, plus an
+  identical-output check;
+* a second, fully cached ``B-IDJ-Y`` run — near-zero residual steps.
+
+Emits ``BENCH_walks.json`` at the repo root so future PRs can diff the
+numbers.  Runs standalone (``python benchmarks/bench_walk_engine.py``,
+add ``--smoke`` for a quick small-size pass) or under pytest alongside
+the paper benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+from repro.bench.harness import speedup, time_call, write_json_report
+from repro.core.two_way.backward import BackwardBasicJoin, BackwardIDJY
+from repro.core.two_way.base import make_context
+from repro.graph.builders import erdos_renyi, preferential_attachment
+from repro.walks.cache import WalkCache
+
+SIZES = (2000, 8000, 20000)
+SMOKE_SIZES = (2000,)
+TOPOLOGIES = ("pref-attach", "erdos-renyi")
+SET_SIZE = 128
+K = 50
+REPORT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_walks.json",
+)
+
+
+def _workload(topology: str, num_nodes: int):
+    if topology == "pref-attach":
+        # Hub-heavy social topology: frontiers explode, the kernel's
+        # dense middle dominates.
+        graph = preferential_attachment(num_nodes, 4, np.random.default_rng(2014))
+    elif topology == "erdos-renyi":
+        # Bounded-degree topology: frontiers grow slowly, the sparse
+        # head and restricted tail carry most steps.
+        graph = erdos_renyi(
+            num_nodes, 4.0 / num_nodes, np.random.default_rng(2014), weighted=True
+        )
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+    rng = np.random.default_rng(num_nodes)
+    nodes = rng.permutation(num_nodes)
+    left = sorted(int(u) for u in nodes[:SET_SIZE])
+    right = sorted(int(u) for u in nodes[SET_SIZE : 2 * SET_SIZE])
+    return graph, left, right
+
+
+def bench_size(topology: str, num_nodes: int, repeats: int = 3) -> dict:
+    """All walk-engine measurements for one graph size."""
+    graph, left, right = _workload(topology, num_nodes)
+    ctx = make_context(graph, left, right, d=8)
+    engine = ctx.engine
+
+    # --- batched vs per-target B-BJ ----------------------------------
+    per_target = time_call(
+        lambda: BackwardBasicJoin(ctx, block_size=1).all_pairs(), repeats=repeats
+    )
+    batched = time_call(
+        lambda: BackwardBasicJoin(ctx).all_pairs(), repeats=repeats
+    )
+    pairs_batched = sorted(BackwardBasicJoin(ctx).all_pairs())
+    pairs_single = sorted(BackwardBasicJoin(ctx, block_size=1).all_pairs())
+    bbj_match = all(
+        a.left == b.left and a.right == b.right and abs(a.score - b.score) < 1e-12
+        for a, b in zip(pairs_batched, pairs_single)
+    ) and len(pairs_batched) == len(pairs_single)
+
+    # --- resumable vs restart-per-level B-IDJ ------------------------
+    engine.stats.reset()
+    resumable_result = BackwardIDJY(ctx).top_k(K)
+    resumable_steps = engine.stats.propagation_steps
+
+    engine.stats.reset()
+    seed_result = BackwardIDJY(ctx).top_k_reference(K)
+    seed_steps = engine.stats.propagation_steps
+
+    bidj_match = [(p.left, p.right) for p in resumable_result] == [
+        (p.left, p.right) for p in seed_result
+    ] and np.allclose(
+        [p.score for p in resumable_result],
+        [p.score for p in seed_result],
+        atol=1e-12,
+    )
+
+    # --- cached re-run ------------------------------------------------
+    cache = WalkCache(engine, ctx.params)
+    warm_ctx = make_context(
+        graph, left, right, d=8, engine=engine, walk_cache=cache
+    )
+    BackwardIDJY(warm_ctx).top_k(K)
+    engine.stats.reset()
+    rerun_ctx = make_context(
+        graph, left, right, d=8, engine=engine, walk_cache=cache
+    )
+    BackwardIDJY(rerun_ctx).top_k(K)
+    cached_rerun_steps = engine.stats.propagation_steps
+
+    return {
+        "topology": topology,
+        "nodes": num_nodes,
+        "edges": graph.num_edges,
+        "set_size": SET_SIZE,
+        "d": ctx.d,
+        "k": K,
+        "bbj_per_target_seconds": per_target,
+        "bbj_batched_seconds": batched,
+        "bbj_speedup": speedup(per_target, batched),
+        "bbj_outputs_match": bool(bbj_match),
+        "bidj_seed_steps": seed_steps,
+        "bidj_resumable_steps": resumable_steps,
+        "bidj_steps_saved": seed_steps - resumable_steps,
+        "bidj_outputs_match": bool(bidj_match),
+        "bidj_cached_rerun_steps": cached_rerun_steps,
+    }
+
+
+def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
+    """Run the sweep, print a summary, and write the JSON report."""
+    results = []
+    for topology in TOPOLOGIES:
+        for num_nodes in sizes:
+            row = bench_size(topology, num_nodes, repeats=repeats)
+            results.append(row)
+            print(
+                f"{row['topology']:>12} n={row['nodes']:>6}  "
+                f"B-BJ {row['bbj_per_target_seconds']:.3f}s -> "
+                f"{row['bbj_batched_seconds']:.3f}s ({row['bbj_speedup']:.1f}x, "
+                f"match={row['bbj_outputs_match']})  "
+                f"B-IDJ steps {row['bidj_seed_steps']} -> "
+                f"{row['bidj_resumable_steps']} "
+                f"(cached rerun {row['bidj_cached_rerun_steps']}, "
+                f"match={row['bidj_outputs_match']})"
+            )
+    payload = {"benchmark": "walk_engine", "workloads": results}
+    write_json_report(report_path, payload)
+    print(f"wrote {report_path}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale: CI runs these on every push)
+# ----------------------------------------------------------------------
+
+
+def test_batched_bbj_faster_and_equivalent(tmp_path):
+    for topology in TOPOLOGIES:
+        row = bench_size(topology, SMOKE_SIZES[0], repeats=1)
+        assert row["bbj_outputs_match"], topology
+        assert row["bidj_outputs_match"], topology
+        assert row["bidj_resumable_steps"] < row["bidj_seed_steps"], topology
+        write_json_report(
+            str(tmp_path / "BENCH_walks.json"), {"workloads": [row]}
+        )
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    if smoke:
+        # Keep the committed full-sweep trajectory intact: smoke runs
+        # (CI, quick local checks) write to a sibling scratch file.
+        run(
+            sizes=SMOKE_SIZES,
+            repeats=1,
+            report_path=REPORT_PATH.replace(".json", "_smoke.json"),
+        )
+    else:
+        run()

@@ -28,6 +28,7 @@ from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.base import ScoredPair, make_context
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError
+from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
 
 
@@ -41,6 +42,7 @@ def two_way_join(
     d: Optional[int] = None,
     epsilon: Optional[float] = None,
     engine: Optional[WalkEngine] = None,
+    walk_cache: Optional[WalkCache] = None,
 ) -> List[ScoredPair]:
     """Top-``k`` 2-way join between node sets ``left`` and ``right``.
 
@@ -51,6 +53,10 @@ def two_way_join(
         ``"b-idj-y"`` (default — the paper's fastest).
     params / d / epsilon:
         DHT configuration; see :class:`repro.core.dht.DHTParams`.
+    walk_cache:
+        Optional :class:`~repro.walks.cache.WalkCache` (must be bound to
+        the same engine and params).  Pass one cache to a sequence of
+        joins on the same graph to reuse backward walks across them.
 
     Returns
     -------
@@ -58,7 +64,8 @@ def two_way_join(
         At most ``k`` pairs in descending DHT-score order.
     """
     context = make_context(
-        graph, left, right, params=params, d=d, epsilon=epsilon, engine=engine
+        graph, left, right, params=params, d=d, epsilon=epsilon, engine=engine,
+        walk_cache=walk_cache,
     )
     algorithm_cls = two_way_algorithm_by_name(algorithm)
     return algorithm_cls(context).top_k(k)
@@ -79,6 +86,7 @@ def multi_way_join(
     d: Optional[int] = None,
     epsilon: Optional[float] = None,
     engine: Optional[WalkEngine] = None,
+    share_walks: bool = True,
 ) -> List[CandidateAnswer]:
     """Top-``k`` n-way join over ``query_graph`` (Definition 4).
 
@@ -91,6 +99,10 @@ def multi_way_join(
         Monotone ``f`` over per-edge DHT scores (default ``MIN``).
     m:
         Prefix length for ``PJ``/``PJ-i`` (ignored by ``NL``/``AP``).
+    share_walks:
+        Share one walk cache across all query edges (default), so
+        overlapping node sets never walk the same target twice.  Disable
+        to reproduce the seed's per-edge walk costs.
 
     Returns
     -------
@@ -108,6 +120,7 @@ def multi_way_join(
         d=d,
         epsilon=epsilon,
         engine=engine,
+        share_walks=share_walks,
     )
     name = algorithm.lower()
     if name == "nl":

@@ -9,6 +9,7 @@ testbed; EXPERIMENTS.md records the *shape* comparison.
 
 from __future__ import annotations
 
+import json
 import math
 import time
 from dataclasses import dataclass, field
@@ -67,6 +68,18 @@ def speedup(slow: Optional[float], fast: Optional[float]) -> Optional[float]:
     if slow is None or fast is None or fast <= 0:
         return None
     return slow / fast
+
+
+def write_json_report(path: str, payload: dict) -> None:
+    """Write a machine-readable benchmark report.
+
+    Trajectory benchmarks (``BENCH_*.json`` at the repo root) are diffed
+    across PRs to catch performance regressions; keep payloads flat,
+    JSON-serialisable, and stable in their key names.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def format_seconds(seconds: Optional[float]) -> str:

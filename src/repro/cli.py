@@ -77,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     multi.add_argument("--aggregate", default="MIN")
     multi.add_argument("-m", type=int, default=50, help="PJ/PJ-i prefix length")
+    multi.add_argument(
+        "--no-walk-cache", action="store_false", dest="share_walks",
+        help="disable the cross-edge walk cache (seed per-edge walk costs)",
+    )
 
     stats = sub.add_parser("stats", help="print graph statistics")
     stats.add_argument("graph")
@@ -147,6 +151,7 @@ def _run_multi_way(args) -> int:
         aggregate=aggregate_by_name(args.aggregate),
         m=args.m,
         params=_dht_params(args), epsilon=args.epsilon,
+        share_walks=args.share_walks,
     )
     if args.as_json:
         print(json.dumps(

@@ -9,7 +9,10 @@ paper observes) under 1% are ever used.
 The paper implements ``AP``'s ``twoWayJoin`` with ``F-BJ``: since all
 pairs are needed anyway, pruning buys nothing and forward walks are the
 simplest complete scorer.  ``B-BJ`` is offered as a faster alternative
-materialiser (it changes nothing about which results are produced).
+materialiser (it changes nothing about which results are produced); it
+propagates its targets in batched blocks and, through the spec's shared
+walk cache, reuses full-depth walks across edges whose right sets
+overlap (star / clique query graphs).
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ class AllPairsJoin:
                 right=list(right),
                 d=spec.d,
                 engine=spec.engine,
+                walk_cache=spec.walk_cache,
             )
             pairs = sort_pairs(self._materializer(context).all_pairs())
             inputs.append(

@@ -5,7 +5,11 @@ default 50 = the paper's setting) and rank-joins the short sorted lists.
 When the rank join needs a pair beyond the top-``m`` prefix of some edge
 (``getNextNodePair``, step 10), plain ``PJ`` re-runs a full top-``(m+1)``
 2-way join from scratch and takes its last element — correct but
-expensive, which is precisely the weakness ``PJ-i`` fixes.
+expensive, which is precisely the weakness ``PJ-i`` fixes.  The restart
+joins do at least run against the spec's shared walk cache, so a re-run
+re-scores cached walks instead of re-propagating them; the *algorithmic*
+waste (re-ranking from scratch) remains, keeping the PJ/PJ-i comparison
+honest.
 
 The per-edge 2-way joins default to ``B-IDJ-Y``, the paper's best
 algorithm for this role (Section VII-A).
@@ -122,6 +126,7 @@ class PartialJoin:
                 right=list(right),
                 d=spec.d,
                 engine=spec.engine,
+                walk_cache=spec.walk_cache,
             )
             provider = _RestartProvider(context, self._algorithm_cls, self._m)
             providers.append(provider)

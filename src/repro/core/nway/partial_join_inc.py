@@ -83,6 +83,7 @@ class PartialJoinIncremental:
                 right=list(right),
                 d=spec.d,
                 engine=spec.engine,
+                walk_cache=spec.walk_cache,
             )
             join = IncrementalTwoWayJoin(context, bound_factory=self._bound_factory)
             joins.append(join)

@@ -10,6 +10,7 @@ from repro.core.nway.aggregates import MIN, Aggregate
 from repro.core.nway.query_graph import QueryGraph
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError, validate_node_set
+from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
 
 
@@ -34,6 +35,12 @@ class NWayJoinSpec:
     params / d / epsilon:
         DHT configuration; defaults to ``DHT_lambda(0.2)`` with
         ``epsilon = 1e-6`` (``d = 8``), matching Section VII-A.
+    walk_cache / share_walks:
+        One :class:`~repro.walks.cache.WalkCache` is shared by every
+        query edge of the join (created automatically unless
+        ``share_walks`` is false), so edges whose node sets overlap —
+        star and clique specs especially — never walk the same target
+        twice.
     """
 
     graph: Graph
@@ -45,6 +52,8 @@ class NWayJoinSpec:
     d: Optional[int] = None
     epsilon: Optional[float] = None
     engine: WalkEngine = field(default=None)  # type: ignore[assignment]
+    walk_cache: Optional[WalkCache] = None
+    share_walks: bool = True
 
     def __post_init__(self) -> None:
         if self.params is None:
@@ -69,6 +78,8 @@ class NWayJoinSpec:
         ]
         if self.engine is None:
             self.engine = WalkEngine(self.graph)
+        if self.walk_cache is None and self.share_walks:
+            self.walk_cache = WalkCache(self.engine, self.params)
 
     def edge_node_sets(self, edge_index: int) -> tuple:
         """The (left, right) node sets of query edge ``edge_index``."""

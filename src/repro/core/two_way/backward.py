@@ -10,31 +10,223 @@ walks give lower bounds ``h_l(p, q)`` and per-``q`` upper bounds
 current top-``k`` floor is pruned before the expensive full-depth walk.
 The bound ``U_l^+`` is pluggable: ``X_l^+`` (Lemma 2) gives ``B-IDJ-X``,
 ``Y_l^+`` (Theorem 1) gives ``B-IDJ-Y``.
+
+This module runs both algorithms on the batched, resumable walk layer:
+
+* ``B-BJ`` propagates its targets in ``(n, B)`` blocks — one CSR
+  sparse-dense product per step instead of ``B`` mat-vecs.
+* ``B-IDJ`` keeps one :class:`~repro.walks.state.WalkState` across
+  deepening rounds, so level ``2l`` *extends* level ``l`` (``d``
+  column-steps per surviving target instead of ``~2d``), and its per-``p``
+  score/floor loop is a NumPy gather + masked max with a bounded top-k
+  floor accumulator.
+* With a :class:`~repro.walks.cache.WalkCache` on the context, walks are
+  served from / donated to the cache, so repeated joins over overlapping
+  node sets (``PJ`` restarts, star/clique edges) never re-walk a target.
+
+The seed per-target, restart-per-level implementations are kept as
+equivalence oracles: :func:`back_walk_series` and
+:meth:`BackwardIDJ.top_k_reference` (plus ``B-BJ`` with
+``block_size=1``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
 import numpy as np
 
 from repro.core.bounds import ScoreUpperBound, XBound, YBound
-from repro.core.two_way.base import ScoredPair, TwoWayContext, top_k_pairs
+from repro.core.two_way.base import (
+    BoundedTopK,
+    ScoredPair,
+    TwoWayContext,
+    kth_largest,
+    top_k_pairs,
+)
 from repro.graph.validation import GraphValidationError
+from repro.walks.state import WalkState
+
+# 16 columns keeps the dense mass block cache-resident on large graphs
+# (n x B x 8 bytes) while amortising the CSR index traffic; measured the
+# fastest block width from 2k to 20k nodes (see BENCH_walks.json).
+DEFAULT_BLOCK_SIZE = 16
+
+
+def back_walk_series(context: TwoWayContext, target: int, steps: int) -> np.ndarray:
+    """The seed per-target ``backWalk`` kernel (equivalence oracle).
+
+    Runs the ``steps``-step backward first-hit propagation from ``target``
+    (Eq. 5) and converts the hit series into truncated DHT scores
+    (Eq. 4).  Cost: ``O(steps * |E_G|)``; never touches the walk cache.
+    """
+    series = context.engine.backward_first_hit_series(target, steps)
+    return context.params.scores_from_matrix(series)
 
 
 def back_walk(context: TwoWayContext, target: int, steps: int) -> np.ndarray:
     """The paper's ``backWalk``: ``h_l(p, target)`` for all graph nodes.
 
-    Runs the ``steps``-step backward first-hit propagation from ``target``
-    (Eq. 5) and converts the hit series into truncated DHT scores
-    (Eq. 4).  Cost: ``O(steps * |E_G|)``.
+    With a walk cache on the context, the request is served from the
+    cache — an exact repeat costs ``O(n)``, a deeper repeat only pays the
+    walk's uncached suffix.  Without a cache this is
+    :func:`back_walk_series`.
 
     Returns the full length-``|V_G|`` score vector; callers gather the
     entries for ``p in P``.
     """
-    series = context.engine.backward_first_hit_series(target, steps)
-    return context.params.scores_from_matrix(series)
+    if context.walk_cache is not None:
+        return context.walk_cache.scores(target, steps)
+    return back_walk_series(context, target, steps)
+
+
+# A sparse product costs a small constant times its FLOP bound but with
+# branchy per-entry work; the dense SpMM costs ``nnz(T) * B`` FLOPs with
+# streaming access.  Empirically the sparse step stops winning once its
+# product bound passes ~1/8 of the dense step's FLOPs.
+_SPARSE_STEP_FRACTION = 8
+
+
+class _RestrictedTail:
+    """Row-sliced transition operators for the last walk steps.
+
+    Step ``d`` of the scorer only needs mass at the left rows; step
+    ``d - 1`` only at their out-neighbours, and so on — the *reverse*
+    frontier.  This plan materialises the nested node sets
+    ``R_0 = rows``, ``R_{j+1} = out_nbrs(R_j) | R_0`` and the submatrix
+    operators ``A_j = T[R_j][:, R_{j+1}]``, for as many levels as the
+    row slice stays under half of ``nnz(T)``.  Built once per
+    ``all_pairs`` call and shared by every target chunk.
+    """
+
+    def __init__(self, context: TwoWayContext, rows: np.ndarray) -> None:
+        transition = context.graph.transition_matrix()
+        out_degrees = np.diff(transition.indptr)
+        budget = transition.nnz // 2
+        base = np.sort(np.asarray(rows, dtype=np.int64))
+        self.node_sets: List[np.ndarray] = [base]
+        self.operators: List = []
+        self.row_positions: List[np.ndarray] = [np.arange(base.size)]
+        while len(self.operators) < context.d - 1:
+            current = self.node_sets[-1]
+            if int(out_degrees[current].sum()) > budget:
+                break
+            sliced = transition[current]
+            bigger = np.union1d(sliced.indices, base)
+            self.operators.append(sliced[:, bigger])
+            self.node_sets.append(bigger)
+            self.row_positions.append(np.searchsorted(bigger, base))
+
+    @property
+    def depth(self) -> int:
+        """Number of final steps the plan can serve."""
+        return len(self.operators)
+
+
+def _zero_targets_sparse(mass, targets) -> None:
+    """Zero each column's target entry of a CSR block in place (Eq. 5)."""
+    mass.sort_indices()
+    for j, target in enumerate(targets):
+        start, end = mass.indptr[target], mass.indptr[target + 1]
+        row = mass.indices[start:end]
+        pos = int(np.searchsorted(row, j))
+        if pos < row.size and row[pos] == j:
+            mass.data[start + pos] = 0.0
+
+
+def _block_scores_at_rows(
+    context: TwoWayContext,
+    targets,
+    rows: np.ndarray,
+    tail: Optional[_RestrictedTail] = None,
+) -> np.ndarray:
+    """Full-depth scores for a target block, evaluated at ``rows`` only.
+
+    Degree-aware propagation in three phases, chosen adaptively:
+
+    * **sparse head** — the forward frontier of step ``i`` covers
+      ``O(deg^i)`` nodes, so early steps run as sparse-sparse products
+      (cost proportional to the frontier, not ``|E_G| B``).  Before
+      each sparse step the next frontier's exact nnz bound is computed
+      in O(n) from the in-degree profile; the step is only taken while
+      it beats the dense SpMM.
+    * **dense middle** — full-width CSR SpMM via
+      :meth:`~repro.walks.engine.WalkEngine.backward_block_step`.
+    * **restricted tail** — the last steps only need mass on the
+      *reverse* frontier of ``rows`` (see :class:`_RestrictedTail`), so
+      they run on row-sliced submatrix operators.
+
+    Hub-heavy graphs collapse to mostly-dense middles; bounded-degree
+    graphs may never need a dense step at all.  The score prefix is
+    accumulated only on the requested rows — no caller needs the
+    intermediate full vectors.
+
+    Agrees with the corresponding rows of
+    :meth:`repro.walks.state.WalkState.scores_matrix` at full depth to
+    within summation-order rounding (far below the 1e-12 test
+    tolerance; the phases add the same products in different orders).
+    Returns an ``(len(rows), B)`` array in the order of ``rows``.
+    """
+    engine, params = context.engine, context.params
+    targets = np.asarray(targets, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.int64)
+    width = targets.shape[0]
+    transition = context.graph.transition_matrix()
+    in_degrees = engine.in_degree_array()
+    dense_step_flops = transition.nnz * width
+    if tail is None:
+        tail = _RestrictedTail(context, rows)
+    base = tail.node_sets[0]  # sorted rows
+
+    # Step 1 is a column slice of T (the one-hot product), kept sparse.
+    sparse_mass = engine.transition_columns()[:, targets].tocsr()
+    engine.stats.propagation_steps += width
+    engine.stats.sparse_products += 1
+    acc = params.decay * np.asarray(sparse_mass[base].todense())
+    mass = None
+    restricted = None
+    for i in range(2, context.d + 1):
+        consume_level = context.d - i + 1  # tail level holding m_{i-1}
+        if consume_level <= tail.depth:
+            node_set = tail.node_sets[consume_level]
+            if restricted is None:
+                if sparse_mass is not None:
+                    restricted = np.asarray(sparse_mass[node_set].todense())
+                    sparse_mass = None
+                else:
+                    restricted = mass[node_set, :]
+                    mass = None
+            positions = np.searchsorted(node_set, targets)
+            for column in range(width):
+                pos = positions[column]
+                if pos < node_set.size and node_set[pos] == targets[column]:
+                    restricted[pos, column] = 0.0
+            restricted = tail.operators[consume_level - 1].dot(restricted)
+            engine.stats.propagation_steps += width
+            engine.stats.sparse_products += 1
+            acc += params.decay ** i * restricted[
+                tail.row_positions[consume_level - 1], :
+            ]
+            continue
+        if sparse_mass is not None:
+            counts = np.diff(sparse_mass.indptr)
+            bound = int(counts.dot(in_degrees))
+            if bound * _SPARSE_STEP_FRACTION > dense_step_flops:
+                mass = sparse_mass.toarray()
+                sparse_mass = None
+            else:
+                _zero_targets_sparse(sparse_mass, targets)
+                sparse_mass = transition.dot(sparse_mass)
+                engine.stats.propagation_steps += width
+                engine.stats.sparse_products += 1
+                acc += params.decay ** i * np.asarray(
+                    sparse_mass[base].todense()
+                )
+                continue
+        mass = engine.backward_block_step(mass, targets, first=False)
+        acc += params.decay ** i * mass[base, :]
+    scores = params.alpha * acc + params.beta
+    return scores[np.searchsorted(base, rows), :]
 
 
 class WalkObserver(Protocol):
@@ -55,21 +247,94 @@ class BackwardBasicJoin:
     """``B-BJ``: one full-depth backward walk per right node.
 
     ``O(|Q| d |E_G|)`` total — already ``|P|`` times faster than ``F-BJ``
-    — but walks every ``q`` to full depth regardless of ``k``.
+    — but walks every ``q`` to full depth regardless of ``k``.  Targets
+    are propagated in blocks of ``block_size`` columns (one sparse-dense
+    product per step per block); ``block_size=1`` selects the seed
+    per-target kernel, kept as the equivalence oracle and as the
+    benchmark baseline.
     """
 
     name = "B-BJ"
 
-    def __init__(self, context: TwoWayContext) -> None:
+    def __init__(
+        self, context: TwoWayContext, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> None:
+        if block_size < 1:
+            raise GraphValidationError(
+                f"block_size must be >= 1, got {block_size}"
+            )
         self._ctx = context
+        self._block_size = block_size
 
     def all_pairs(self) -> List[ScoredPair]:
         """Score every candidate pair (unsorted)."""
         ctx = self._ctx
+        if self._block_size == 1:
+            pairs: List[ScoredPair] = []
+            for q in ctx.right:
+                scores = back_walk(ctx, q, ctx.d)
+                pairs.extend(ctx.pairs_for_target(scores, q))
+            return pairs
+        if ctx.walk_cache is None:
+            return self._all_pairs_lean()
+        return self._all_pairs_cached()
+
+    def _all_pairs_lean(self) -> List[ScoredPair]:
+        """Batched scoring with the accumulator restricted to ``P``.
+
+        Without a cache to feed, only the left rows of each score vector
+        are ever read, so the ``lambda^i P_i`` prefix is accumulated on
+        an ``(|P|, B)`` slice instead of the full ``(n, B)`` block — the
+        propagation itself still needs full vectors, but the accumulator
+        traffic drops by ``n / |P|``.
+        """
+        ctx = self._ctx
+        left = ctx.left_array
+        tail = _RestrictedTail(ctx, left)
         pairs: List[ScoredPair] = []
-        for q in ctx.right:
-            scores = back_walk(ctx, q, ctx.d)
-            pairs.extend(ctx.pairs_for_target(scores, q))
+        for start in range(0, len(ctx.right), self._block_size):
+            chunk = ctx.right[start : start + self._block_size]
+            scores = _block_scores_at_rows(ctx, chunk, left, tail)
+            for j, q in enumerate(chunk):
+                values = scores[:, j].tolist()
+                pairs.extend(
+                    ScoredPair(p, q, value)
+                    for p, value in zip(ctx.left, values)
+                    if p != q
+                )
+        return pairs
+
+    def _all_pairs_cached(self) -> List[ScoredPair]:
+        """Batched scoring through the shared walk cache.
+
+        Cache hits (targets walked by an earlier join or query edge)
+        cost ``O(n)``; misses are walked one block at a time and donated
+        back for the next join, so peak memory stays
+        ``O(n * block_size)`` regardless of ``|Q|``.
+        """
+        ctx = self._ctx
+        cache = ctx.walk_cache
+        pairs: List[ScoredPair] = []
+        pending: List[int] = []
+
+        def flush() -> None:
+            state = WalkState(ctx.engine, ctx.params, pending).advance_to(ctx.d)
+            for j, q in enumerate(pending):
+                vector = state.score_column(j)
+                cache.put_scores(q, ctx.d, vector)
+                pairs.extend(ctx.pairs_for_target(vector, q))
+            pending.clear()
+
+        for q in ctx.right:  # validated node sets carry no duplicates
+            cached = cache.peek(q, ctx.d)
+            if cached is not None:
+                pairs.extend(ctx.pairs_for_target(cached, q))
+                continue
+            pending.append(q)
+            if len(pending) == self._block_size:
+                flush()
+        if pending:
+            flush()
         return pairs
 
     def top_k(self, k: int) -> List[ScoredPair]:
@@ -90,14 +355,28 @@ def x_bound_factory(context: TwoWayContext) -> XBound:
 def y_bound_factory(context: TwoWayContext) -> YBound:
     """``U_l^+ = Y_l^+(P, q)`` (Theorem 1) — the ``B-IDJ-Y`` configuration.
 
-    Construction runs the one-off ``O(d |E_G|)`` reach-mass propagation
-    from all of ``P``.
+    Construction runs a one-off ``O(d |E_G|)`` reach-mass propagation
+    from all of ``P``, memoised on the context: repeated joins over the
+    same inputs (``PJ``'s restart refills) reuse the bound instead of
+    re-propagating.
     """
-    return YBound(context.engine, context.params, context.left, context.d)
+    cached = getattr(context, "_y_bound", None)
+    if cached is None:
+        cached = YBound(context.engine, context.params, context.left, context.d)
+        context._y_bound = cached
+    return cached
 
 
 class BackwardIDJ:
     """``B-IDJ`` (Algorithm 2) with a pluggable upper-bound function.
+
+    Runs on the batched, resumable walk layer: all active targets share
+    one :class:`~repro.walks.state.WalkState` block that is *extended*
+    at each doubling level (the seed restarted every walk from scratch,
+    paying ``1 + 2 + ... + d ~ 2d`` steps per surviving target instead
+    of ``d``).  With a walk cache on the context, previously walked
+    targets are served from the cache and pruned targets donate their
+    resumable column so later joins pick up where this one stopped.
 
     Parameters
     ----------
@@ -139,6 +418,119 @@ class BackwardIDJ:
             return []
         ctx = self._ctx
         bound = self._bound_factory(ctx)
+        cache = ctx.walk_cache
+        self.pruning_trace = []
+        left = ctx.left_array
+        zero = ctx.params.zero_score
+
+        active: List[int] = list(ctx.right)
+        state: Optional[WalkState] = None
+        state_cols: Dict[int, int] = {}
+
+        def level_vectors(level: int) -> Dict[int, np.ndarray]:
+            """Score vectors for every active target at ``level``.
+
+            Resolution order per target: cached vector (no walk), the
+            shared resumable block (extended in batch), then the cache's
+            own single-column resume path for targets that were
+            cache-served at an earlier level but missed at this one.
+            """
+            nonlocal state, state_cols
+            vectors: Dict[int, np.ndarray] = {}
+            block_targets: List[int] = []
+            for q in active:
+                if cache is not None:
+                    cached = cache.peek(q, level)
+                    if cached is not None:
+                        vectors[q] = cached
+                        continue
+                if state is None or q in state_cols:
+                    block_targets.append(q)
+                else:
+                    # The peek above already recorded this miss.
+                    vectors[q] = cache.scores(q, level, count_stats=False)
+            if block_targets:
+                if state is None:
+                    state = WalkState(ctx.engine, ctx.params, block_targets)
+                    state_cols = {q: j for j, q in enumerate(block_targets)}
+                state.advance_to(level)
+                for q in block_targets:
+                    vector = state.score_column(state_cols[q])
+                    if cache is not None:
+                        cache.put_scores(q, level, vector)
+                    vectors[q] = vector
+            return vectors
+
+        level = 1
+        while level < ctx.d:
+            vectors = level_vectors(level)
+            tails = np.array([bound.tail(level, q) for q in active])
+            if self._observer is not None:
+                for q, tail in zip(active, tails):
+                    self._observer.observe(q, level, vectors[q], float(tail))
+            # The seed's per-p Python loop, vectorised: gather the left
+            # rows of every column, mask reflexive pairs, take column
+            # maxima, and feed informative entries to the bounded floor.
+            width = len(active)
+            targets_arr = np.asarray(active, dtype=np.int64)
+            left_scores = np.empty((left.size, width), dtype=np.float64)
+            for j, q in enumerate(active):
+                left_scores[:, j] = vectors[q][left]
+            valid = left[:, None] != targets_arr[None, :]
+            floor = BoundedTopK(k)
+            # Algorithm 2, step 7: only informative lower bounds (pairs
+            # with at least one hit within `level` steps) enter the floor.
+            floor.push(left_scores[valid & (left_scores > zero)])
+            best = np.where(valid, left_scores, -np.inf).max(axis=0)
+            best = np.maximum(best, zero)
+            t_k = floor.kth_largest()
+            keep = best + tails >= t_k
+            surviving = [q for q, flag in zip(active, keep) if flag]
+            self.pruning_trace.append(
+                {
+                    "level": level,
+                    "active_before": len(active),
+                    "pruned": len(active) - len(surviving),
+                    "threshold": t_k,
+                }
+            )
+            if state is not None:
+                if cache is not None:
+                    for q, flag in zip(active, keep):
+                        if not flag and q in state_cols:
+                            cache.adopt(state.extract_column(state_cols[q]))
+                kept = [(q, state_cols[q]) for q in surviving if q in state_cols]
+                if len(kept) != state.width:
+                    if kept:
+                        state = state.select([column for _, column in kept])
+                        state_cols = {q: j for j, (q, _) in enumerate(kept)}
+                    else:
+                        state, state_cols = None, {}
+            active = surviving
+            level *= 2
+
+        vectors = level_vectors(ctx.d)
+        pairs: List[ScoredPair] = []
+        for q in active:
+            vector = vectors[q]
+            if self._observer is not None:
+                self._observer.observe(q, ctx.d, vector, 0.0)
+            pairs.extend(ctx.pairs_for_target(vector, q))
+        return top_k_pairs(pairs, k)
+
+    def top_k_reference(self, k: int) -> List[ScoredPair]:
+        """The seed implementation: per-target walks, restarted per level.
+
+        Kept verbatim as the equivalence oracle and as the benchmark
+        baseline for the resumable engine; bypasses the walk cache so
+        its propagation-step count reflects the restart-per-level cost.
+        """
+        if k < 0:
+            raise GraphValidationError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return []
+        ctx = self._ctx
+        bound = self._bound_factory(ctx)
         self.pruning_trace = []
         active = list(ctx.right)
         level = 1
@@ -146,7 +538,7 @@ class BackwardIDJ:
             lower_bounds: List[float] = []
             q_upper = {}
             for q in active:
-                scores = back_walk(ctx, q, level)
+                scores = back_walk_series(ctx, q, level)
                 tail = bound.tail(level, q)
                 if self._observer is not None:
                     self._observer.observe(q, level, scores, tail)
@@ -155,15 +547,12 @@ class BackwardIDJ:
                     if p == q:
                         continue
                     score = float(scores[p])
-                    # Algorithm 2, step 7: only informative lower bounds
-                    # (pairs with at least one hit within `level` steps)
-                    # enter the floor computation.
                     if score > ctx.params.zero_score:
                         lower_bounds.append(score)
                     if score > best:
                         best = score
                 q_upper[q] = best + tail
-            t_k = _kth_largest(lower_bounds, k)
+            t_k = kth_largest(lower_bounds, k)
             surviving = [q for q in active if q_upper[q] >= t_k]
             self.pruning_trace.append(
                 {
@@ -177,7 +566,7 @@ class BackwardIDJ:
             level *= 2
         pairs: List[ScoredPair] = []
         for q in active:
-            scores = back_walk(ctx, q, ctx.d)
+            scores = back_walk_series(ctx, q, ctx.d)
             if self._observer is not None:
                 self._observer.observe(q, ctx.d, scores, 0.0)
             pairs.extend(ctx.pairs_for_target(scores, q))
@@ -208,10 +597,3 @@ class BackwardIDJY(BackwardIDJ):
         self, context: TwoWayContext, observer: Optional[WalkObserver] = None
     ) -> None:
         super().__init__(context, y_bound_factory, observer=observer)
-
-
-def _kth_largest(values: List[float], k: int) -> float:
-    """``k``-th largest value, or ``-inf`` when fewer than ``k`` exist."""
-    if len(values) < k:
-        return float("-inf")
-    return sorted(values, reverse=True)[k - 1]

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.dht import DHTParams
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError, validate_node_set
+from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
 
 
@@ -46,6 +47,74 @@ def top_k_pairs(pairs: Sequence[ScoredPair], k: int) -> List[ScoredPair]:
     return sort_pairs(pairs)[:k]
 
 
+def kth_largest(values: Sequence[float], k: int) -> float:
+    """``k``-th largest value, or ``-inf`` when fewer than ``k`` exist.
+
+    ``O(len(values))`` via ``np.partition`` — the iterative-deepening
+    joins call this once per round with every informative lower bound.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size < k:
+        return float("-inf")
+    return float(np.partition(values, values.size - k)[values.size - k])
+
+
+class BoundedTopK:
+    """Bounded accumulator of the ``k`` largest values pushed so far.
+
+    Replaces the unbounded per-round ``lower_bounds`` list in the
+    deepening joins: memory stays ``O(k)`` regardless of how many
+    candidate scores a round produces.  Values are appended into a
+    ``2k``-slot buffer that is compacted with ``np.partition`` whenever
+    it fills, so the amortised cost per pushed value is ``O(1)``.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise GraphValidationError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._capacity = max(2 * k, 64)
+        self._buffer = np.empty(self._capacity, dtype=np.float64)
+        self._size = 0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Total number of values pushed."""
+        return self._count
+
+    def push(self, values) -> None:
+        """Add a scalar or array of values."""
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel()
+        if values.size == 0:
+            return
+        self._count += values.size
+        position = 0
+        while position < values.size:
+            take = min(values.size - position, self._capacity - self._size)
+            self._buffer[self._size : self._size + take] = values[
+                position : position + take
+            ]
+            self._size += take
+            position += take
+            if self._size == self._capacity:
+                self._compact()
+
+    def kth_largest(self) -> float:
+        """``k``-th largest value seen, or ``-inf`` if fewer than ``k``."""
+        if self._count < self._k:
+            return float("-inf")
+        return kth_largest(self._buffer[: self._size], self._k)
+
+    def _compact(self) -> None:
+        # Keep only the k largest: they are the only candidates for the
+        # k-th largest of everything seen.
+        partitioned = np.partition(self._buffer[: self._size], self._size - self._k)
+        top = partitioned[self._size - self._k :]
+        self._buffer[: top.size] = top
+        self._size = top.size
+
+
 @dataclass
 class TwoWayContext:
     """Validated inputs shared by every 2-way join algorithm.
@@ -64,6 +133,12 @@ class TwoWayContext:
     d:
         Truncation depth (Eq. 4), typically from
         :meth:`repro.core.dht.DHTParams.steps_for_epsilon`.
+    walk_cache:
+        Optional cross-join :class:`~repro.walks.cache.WalkCache`.  When
+        set, ``back_walk`` serves repeated ``(target, level)`` requests
+        from it and the backward joins donate their walks into it; an
+        n-way spec shares one cache across all its query edges.  Must be
+        bound to the same engine and params as this context.
     """
 
     graph: Graph
@@ -72,6 +147,7 @@ class TwoWayContext:
     right: List[int]
     d: int
     engine: WalkEngine = field(default=None)  # type: ignore[assignment]
+    walk_cache: Optional[WalkCache] = None
 
     def __post_init__(self) -> None:
         self.left = validate_node_set(self.graph.num_nodes, self.left, "left node set")
@@ -80,6 +156,15 @@ class TwoWayContext:
             raise GraphValidationError(f"d must be >= 1, got {self.d}")
         if self.engine is None:
             self.engine = WalkEngine(self.graph)
+        if self.walk_cache is not None:
+            if self.walk_cache.engine is not self.engine:
+                raise GraphValidationError(
+                    "walk_cache is bound to a different engine than this context"
+                )
+            if self.walk_cache.params != self.params:
+                raise GraphValidationError(
+                    "walk_cache was built for different DHT params"
+                )
         self._left_array = np.asarray(self.left, dtype=np.int64)
 
     @property
@@ -94,9 +179,16 @@ class TwoWayContext:
         return len(self.left) * len(self.right) - overlap
 
     def pairs_for_target(self, scores: np.ndarray, q: int) -> List[ScoredPair]:
-        """Materialise ``(p, q, scores[p])`` for every valid ``p``."""
+        """Materialise ``(p, q, scores[p])`` for every valid ``p``.
+
+        One vectorised gather + ``tolist`` keeps the per-pair Python
+        work to a single tuple construction.
+        """
+        values = scores[self._left_array].tolist()
         return [
-            ScoredPair(int(p), q, float(scores[p])) for p in self.left if p != q
+            ScoredPair(p, q, value)
+            for p, value in zip(self.left, values)
+            if p != q
         ]
 
 
@@ -108,6 +200,7 @@ def make_context(
     d: Optional[int] = None,
     epsilon: Optional[float] = None,
     engine: Optional[WalkEngine] = None,
+    walk_cache: Optional[WalkCache] = None,
 ) -> TwoWayContext:
     """Build a :class:`TwoWayContext` with the paper's defaults.
 
@@ -122,5 +215,5 @@ def make_context(
         d = params.steps_for_epsilon(epsilon if epsilon is not None else 1e-6)
     return TwoWayContext(
         graph=graph, params=params, left=list(left), right=list(right), d=d,
-        engine=engine,
+        engine=engine, walk_cache=walk_cache,
     )

@@ -11,7 +11,12 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.bounds import XBound
-from repro.core.two_way.base import ScoredPair, TwoWayContext, top_k_pairs
+from repro.core.two_way.base import (
+    ScoredPair,
+    TwoWayContext,
+    kth_largest,
+    top_k_pairs,
+)
 from repro.graph.validation import GraphValidationError
 
 
@@ -94,7 +99,7 @@ class ForwardIDJ:
                     if h_l > best_l:
                         best_l = h_l
                 upper_by_p[p] = best_l + xbound.tail(level)
-            t_k = _kth_largest(lower_bounds, k)
+            t_k = kth_largest(lower_bounds, k)
             for p in active:
                 if upper_by_p[p] >= t_k:
                     surviving.append(p)
@@ -116,14 +121,3 @@ class ForwardIDJ:
                 series = ctx.engine.forward_first_hit_series(p, q, ctx.d)
                 pairs.append(ScoredPair(p, q, ctx.params.score_from_series(series)))
         return top_k_pairs(pairs, k)
-
-
-def _kth_largest(values: List[float], k: int) -> float:
-    """The ``k``-th largest value, or ``-inf`` when fewer than ``k``.
-
-    Pruning is only sound once ``k`` lower bounds exist (otherwise any
-    pair might still belong to the top-``k``).
-    """
-    if len(values) < k:
-        return float("-inf")
-    return sorted(values, reverse=True)[k - 1]

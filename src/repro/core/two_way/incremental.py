@@ -15,12 +15,20 @@ paper's ``F`` structure:
   answer — finalise it with a full ``d``-step walk if needed.  Otherwise
   *refine* ``e1`` by re-walking its ``q`` with a doubled length
   ``min(2 l, d)``, which tightens every ``( . , q)`` entry at once.
+
+Refinement walks run through the context's
+:class:`~repro.walks.cache.WalkCache` (one is attached on construction
+if the context has none): the instrumented ``B-IDJ`` donates its walk
+state there, so a doubled-length re-walk *extends* the recorded
+``l``-step walk instead of restarting from scratch — each target pays
+for every propagation step at most once across the join's lifetime.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -34,6 +42,7 @@ from repro.core.two_way.backward import (
 )
 from repro.core.two_way.base import ScoredPair, TwoWayContext
 from repro.graph.validation import GraphValidationError
+from repro.walks.cache import WalkCache
 
 Pair = Tuple[int, int]
 
@@ -185,6 +194,14 @@ class IncrementalTwoWayJoin:
         context: TwoWayContext,
         bound_factory: BoundFactory = y_bound_factory,
     ) -> None:
+        if context.walk_cache is None:
+            # Resumable refinement needs somewhere to keep walk state
+            # between next_pair() calls; work on a private copy of the
+            # context so the caller's object is not mutated.
+            context = replace(
+                context,
+                walk_cache=WalkCache(context.engine, context.params),
+            )
         self._ctx = context
         self._bound: ScoreUpperBound = bound_factory(context)
         self._f = FStructure()

@@ -73,9 +73,18 @@ class Graph:
             self._out_adj[u][v] = w
             self._in_adj[v][u] = w
         self._num_edges = len(merged)
-        self._out_weight_sum = np.zeros(self._num_nodes, dtype=np.float64)
-        for u in range(self._num_nodes):
-            self._out_weight_sum[u] = sum(self._out_adj[u].values())
+        if merged:
+            heads = np.fromiter(
+                (uv[0] for uv in merged), dtype=np.int64, count=len(merged)
+            )
+            weights = np.fromiter(
+                merged.values(), dtype=np.float64, count=len(merged)
+            )
+            self._out_weight_sum = np.bincount(
+                heads, weights=weights, minlength=self._num_nodes
+            )
+        else:
+            self._out_weight_sum = np.zeros(self._num_nodes, dtype=np.float64)
         if labels is not None:
             labels = list(labels)
             if len(labels) != self._num_nodes:

@@ -1,5 +1,19 @@
-"""Random-walk kernels: sparse production engine and test oracles."""
+"""Random-walk kernels: sparse production engine and test oracles.
 
-from repro.walks.engine import WalkEngine
+Layered as: per-target Eq. 5 kernels (:class:`WalkEngine`, the
+equivalence oracle), batched block propagation
+(:meth:`WalkEngine.backward_first_hit_block`), resumable walk state
+(:class:`WalkState`), and the cross-join :class:`WalkCache`.
+"""
 
-__all__ = ["WalkEngine"]
+from repro.walks.cache import WalkCache, WalkCacheStats
+from repro.walks.engine import WalkEngine, WalkEngineStats
+from repro.walks.state import WalkState
+
+__all__ = [
+    "WalkCache",
+    "WalkCacheStats",
+    "WalkEngine",
+    "WalkEngineStats",
+    "WalkState",
+]

@@ -1,0 +1,229 @@
+"""Cross-join walk cache: share backward walks between query edges.
+
+A backward walk from target ``q`` depends only on the graph and the DHT
+coefficients — not on the join's left set — so its full-graph score
+vector ``h_level(., q)`` can be reused by *any* join on the same
+``(graph, params)`` pair.  N-way joins whose node sets overlap (star and
+clique query specs, ``PJ``'s restart refills, ``PJ-i``'s F-structure
+refinements) repeatedly ask for the same ``(target, level)`` walks; the
+cache answers those from memory instead of re-propagating.
+
+Two layers per target, bounded by an LRU over targets:
+
+* finished score vectors keyed by walk level — exact repeats are O(n)
+  copies;
+* one resumable :class:`~repro.walks.state.WalkState` at the deepest
+  level walked so far — a *deeper* request extends it (paying only the
+  missing steps) instead of restarting from level 0.
+
+Algorithms that batch their own walks (``B-BJ``, ``B-IDJ``) donate their
+results via :meth:`WalkCache.put_scores` / :meth:`WalkCache.adopt` so
+later joins and refinements resume where they left off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.graph.validation import GraphValidationError
+from repro.walks.engine import WalkEngine
+from repro.walks.state import WalkState
+
+if TYPE_CHECKING:  # avoid a runtime cycle: core.dht imports repro.walks
+    from repro.core.dht import DHTParams
+
+
+@dataclass
+class WalkCacheStats:
+    """Hit/miss accounting, cumulative since the last reset."""
+
+    hits: int = 0
+    misses: int = 0
+    extensions: int = 0  # misses served by extending a resumable state
+    steps_saved: int = 0  # column-steps skipped thanks to resumed prefixes
+    evictions: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.extensions = 0
+        self.steps_saved = 0
+        self.evictions = 0
+
+
+class _TargetEntry:
+    """Cached walks of one target: score vectors per level + deepest state."""
+
+    __slots__ = ("scores", "state")
+
+    def __init__(self) -> None:
+        self.scores: Dict[int, np.ndarray] = {}
+        self.state: Optional[WalkState] = None
+
+
+class WalkCache:
+    """Per-``(graph, params)`` cache of backward-walk score vectors.
+
+    Parameters
+    ----------
+    engine:
+        The graph's walk engine; all cached walks run on it.
+    params:
+        DHT coefficients.  Cached vectors are only valid for this exact
+        configuration — build one cache per ``(graph, params)`` pair.
+    max_targets:
+        LRU bound on the number of distinct targets retained (each
+        target costs a few length-``n`` float64 vectors).
+    """
+
+    def __init__(
+        self, engine: WalkEngine, params: DHTParams, max_targets: int = 256
+    ) -> None:
+        if max_targets < 1:
+            raise GraphValidationError(
+                f"max_targets must be >= 1, got {max_targets}"
+            )
+        self._engine = engine
+        self._params = params
+        self._max_targets = max_targets
+        self._entries: "OrderedDict[int, _TargetEntry]" = OrderedDict()
+        self.stats = WalkCacheStats()
+
+    @property
+    def engine(self) -> WalkEngine:
+        """The engine cached walks run on."""
+        return self._engine
+
+    @property
+    def params(self) -> DHTParams:
+        """The DHT coefficients cached scores were folded with."""
+        return self._params
+
+    @property
+    def max_targets(self) -> int:
+        """LRU capacity in distinct targets."""
+        return self._max_targets
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, target: int) -> bool:
+        return target in self._entries
+
+    def clear(self) -> None:
+        """Drop every cached walk (stats are kept)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup / compute
+    # ------------------------------------------------------------------
+
+    def peek(self, target: int, level: int) -> Optional[np.ndarray]:
+        """Cached ``h_level(., target)`` or ``None`` — never walks.
+
+        A hit refreshes the target's LRU position and returns a fresh
+        copy (cached vectors are never handed out aliased).
+        """
+        entry = self._entries.get(target)
+        if entry is not None:
+            vector = entry.scores.get(level)
+            if vector is not None:
+                self._entries.move_to_end(target)
+                self.stats.hits += 1
+                return vector.copy()
+        self.stats.misses += 1
+        return None
+
+    def scores(
+        self, target: int, level: int, count_stats: bool = True
+    ) -> np.ndarray:
+        """``h_level(., target)``, walking only the uncached suffix.
+
+        Cache hit: O(n) copy.  Miss with a resumable state at a lower
+        level: extends it, paying ``level - state.level`` steps.  Cold
+        miss: a fresh ``level``-step walk.  The result is always recorded
+        for future hits.  Pass ``count_stats=False`` when the caller
+        already recorded this lookup via :meth:`peek`, so one logical
+        request is not double-counted.
+        """
+        if count_stats:
+            vector = self.peek(target, level)
+            if vector is not None:
+                return vector
+        else:
+            entry = self._entries.get(target)
+            vector = entry.scores.get(level) if entry is not None else None
+            if vector is not None:
+                self._entries.move_to_end(target)
+                return vector.copy()
+        entry = self._ensure_entry(target)
+        state = entry.state
+        if state is not None and state.level <= level:
+            if state.level > 0:
+                self.stats.extensions += 1
+                self.stats.steps_saved += state.level
+        else:
+            state = WalkState(self._engine, self._params, [target])
+        state.advance_to(level)
+        if entry.state is None or state.level >= entry.state.level:
+            entry.state = state
+        vector = state.score_column(0)
+        entry.scores[level] = vector
+        self._evict()
+        return vector.copy()
+
+    # ------------------------------------------------------------------
+    # Donation (batched algorithms feed their walks back)
+    # ------------------------------------------------------------------
+
+    def put_scores(self, target: int, level: int, scores: np.ndarray) -> None:
+        """Record an externally computed ``h_level(., target)`` vector.
+
+        The vector must come from the step-accumulated score path (a
+        :class:`WalkState` column) so cached and freshly walked scores
+        stay bit-identical.  A private copy is stored.
+        """
+        entry = self._ensure_entry(target)
+        entry.scores[level] = np.array(scores, dtype=np.float64, copy=True)
+        self._evict()
+
+    def adopt(self, state: WalkState) -> None:
+        """Adopt a single-column resumable state (deepest wins).
+
+        ``B-IDJ`` donates a pruned target's column here so a later,
+        deeper request for that target resumes instead of restarting.
+        The caller hands over ownership: the cache may extend the state
+        in place.
+        """
+        if state.width != 1:
+            raise GraphValidationError(
+                f"adopt() takes a single-column state, got width {state.width}"
+            )
+        target = int(state.targets[0])
+        entry = self._ensure_entry(target)
+        if entry.state is None or state.level > entry.state.level:
+            entry.state = state
+        self._evict()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _ensure_entry(self, target: int) -> _TargetEntry:
+        entry = self._entries.get(target)
+        if entry is None:
+            entry = _TargetEntry()
+            self._entries[target] = entry
+        else:
+            self._entries.move_to_end(target)
+        return entry
+
+    def _evict(self) -> None:
+        while len(self._entries) > self._max_targets:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1

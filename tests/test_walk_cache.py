@@ -1,0 +1,191 @@
+"""Tests for the cross-join walk cache: hit/miss semantics, resumable
+extension, LRU bounding, and sharing across n-way query edges."""
+
+import numpy as np
+import pytest
+
+from repro.core.dht import DHTParams
+from repro.core.nway.query_graph import QueryGraph
+from repro.core.nway.spec import NWayJoinSpec
+from repro.core.two_way.base import make_context
+from repro.graph.validation import GraphValidationError
+from repro.walks.cache import WalkCache
+from repro.walks.engine import WalkEngine
+from repro.walks.state import WalkState
+
+
+@pytest.fixture
+def engine(random_graph):
+    return WalkEngine(random_graph)
+
+
+@pytest.fixture
+def cache(engine, params):
+    return WalkCache(engine, params)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, cache, engine, params):
+        first = cache.scores(5, 4)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        second = cache.scores(5, 4)
+        assert cache.stats.hits == 1
+        assert np.array_equal(first, second)
+
+    def test_peek_never_walks(self, cache, engine):
+        engine.stats.reset()
+        assert cache.peek(3, 2) is None
+        assert engine.stats.propagation_steps == 0
+        assert cache.stats.misses == 1
+
+    def test_scores_match_oracle(self, cache, engine, params):
+        cached = cache.scores(9, 6)
+        series = engine.backward_first_hit_series(9, 6)
+        assert np.allclose(cached, params.scores_from_matrix(series), atol=1e-12)
+
+    def test_returned_vectors_are_private_copies(self, cache):
+        first = cache.scores(5, 4)
+        first[:] = -1.0
+        assert not np.array_equal(first, cache.scores(5, 4))
+
+    def test_deeper_request_extends_state(self, cache, engine):
+        cache.scores(7, 2)
+        engine.stats.reset()
+        cache.scores(7, 6)
+        # Only the 4 missing steps are walked, not all 6.
+        assert engine.stats.propagation_steps == 4
+        assert cache.stats.extensions == 1
+        assert cache.stats.steps_saved == 2
+
+    def test_shallower_request_after_deeper(self, cache, engine, params):
+        deep = cache.scores(7, 6)
+        shallow = cache.scores(7, 3)
+        series = engine.backward_first_hit_series(7, 3)
+        assert np.allclose(
+            shallow, params.scores_from_matrix(series), atol=1e-12
+        )
+        # The deep vector must still be served.
+        assert np.array_equal(cache.scores(7, 6), deep)
+
+
+class TestDonation:
+    def test_put_scores_served_back(self, cache, engine, params):
+        state = WalkState(engine, params, [4]).advance_to(5)
+        vector = state.score_column(0)
+        cache.put_scores(4, 5, vector)
+        assert np.array_equal(cache.scores(4, 5), vector)
+        assert cache.stats.hits == 1
+
+    def test_adopted_state_resumes(self, cache, engine, params):
+        donated = WalkState(engine, params, [12]).advance_to(2)
+        cache.adopt(donated)
+        engine.stats.reset()
+        cache.scores(12, 8)
+        assert engine.stats.propagation_steps == 6  # only the suffix
+
+    def test_adopt_rejects_blocks(self, cache, engine, params):
+        with pytest.raises(GraphValidationError, match="single-column"):
+            cache.adopt(WalkState(engine, params, [1, 2]))
+
+    def test_adopt_keeps_deepest(self, cache, engine, params):
+        deep = WalkState(engine, params, [3]).advance_to(4)
+        cache.adopt(deep)
+        cache.adopt(WalkState(engine, params, [3]).advance_to(1))
+        engine.stats.reset()
+        cache.scores(3, 4)
+        assert engine.stats.propagation_steps == 0
+
+
+class TestLRU:
+    def test_eviction_bounds_targets(self, engine, params):
+        cache = WalkCache(engine, params, max_targets=2)
+        cache.scores(0, 2)
+        cache.scores(1, 2)
+        cache.scores(2, 2)  # evicts target 0
+        assert len(cache) == 2
+        assert 0 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_recent_use_protects_from_eviction(self, engine, params):
+        cache = WalkCache(engine, params, max_targets=2)
+        cache.scores(0, 2)
+        cache.scores(1, 2)
+        cache.scores(0, 2)  # touch 0
+        cache.scores(2, 2)  # evicts 1, not 0
+        assert 0 in cache and 1 not in cache
+
+    def test_invalid_capacity(self, engine, params):
+        with pytest.raises(GraphValidationError):
+            WalkCache(engine, params, max_targets=0)
+
+
+class TestContextBinding:
+    def test_context_rejects_foreign_engine(self, random_graph, params):
+        other = WalkEngine(random_graph)
+        cache = WalkCache(other, params)
+        with pytest.raises(GraphValidationError, match="different engine"):
+            make_context(random_graph, [0], [1], params=params, d=4,
+                         walk_cache=cache)
+
+    def test_context_rejects_foreign_params(self, random_graph, params):
+        engine = WalkEngine(random_graph)
+        cache = WalkCache(engine, DHTParams.dht_e())
+        with pytest.raises(GraphValidationError, match="different DHT params"):
+            make_context(random_graph, [0], [1], params=params, d=4,
+                         engine=engine, walk_cache=cache)
+
+
+class TestCrossEdgeSharing:
+    def test_star_spec_shares_walks_between_edges(self, random_graph, params):
+        # Star query: edges (0,1) and (0,2) walk the same center targets?
+        # No - backward walks run from the *right* sets; use a query
+        # where two edges share the right set: chain 0->1, 2->1.
+        query = QueryGraph(3, [(0, 1), (2, 1)], names=["A", "B", "C"])
+        hub = list(range(10, 18))
+        spec = NWayJoinSpec(
+            graph=random_graph,
+            query_graph=query,
+            node_sets=[list(range(5)), hub, list(range(20, 25))],
+            k=3,
+            params=params,
+        )
+        assert spec.walk_cache is not None
+        from repro.core.nway.all_pairs import AllPairsJoin
+
+        AllPairsJoin(spec, two_way="b-bj").run()
+        # Edge 2 re-walks the same right set as edge 1: every target hit.
+        assert spec.walk_cache.stats.hits >= len(hub)
+
+    def test_incremental_join_does_not_mutate_caller_context(
+        self, random_graph, params
+    ):
+        from repro.core.two_way.incremental import IncrementalTwoWayJoin
+
+        ctx = make_context(
+            random_graph, [0, 1, 2], list(range(20, 26)), params=params, d=4
+        )
+        join = IncrementalTwoWayJoin(ctx)
+        assert ctx.walk_cache is None  # caller's object untouched
+        assert join.context.walk_cache is not None
+
+    def test_scores_count_stats_flag(self, cache):
+        cache.scores(4, 3)
+        misses = cache.stats.misses
+        cache.scores(4, 6, count_stats=False)
+        assert cache.stats.misses == misses
+        # hit path with count_stats=False still serves the vector
+        again = cache.scores(4, 6, count_stats=False)
+        assert again.shape[0] > 0
+        assert cache.stats.hits == 0
+
+    def test_share_walks_can_be_disabled(self, random_graph, params):
+        query = QueryGraph(2, [(0, 1)], names=["A", "B"])
+        spec = NWayJoinSpec(
+            graph=random_graph,
+            query_graph=query,
+            node_sets=[[0, 1], [2, 3]],
+            k=2,
+            params=params,
+            share_walks=False,
+        )
+        assert spec.walk_cache is None
