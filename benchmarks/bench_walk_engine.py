@@ -10,12 +10,22 @@ degree-aware kernel):
 * resumable ``B-IDJ-Y`` vs. the restart-per-level seed implementation —
   propagation-step counts from the engine instrumentation, plus an
   identical-output check;
-* a second, fully cached ``B-IDJ-Y`` run — near-zero residual steps.
+* a second, fully cached ``B-IDJ-Y`` run — near-zero residual steps;
+* the shared bound/plan cache: ``PJ`` over a star spec whose edges all
+  share the centre as left set — ``Y_l^+`` reach-mass builds
+  (``bound_builds``) with one spec-wide ``BoundPlanCache`` vs. per-edge
+  private caches, identical answers either way;
+* bounded-memory ``B-IDJ``: a ``max_block_bytes`` ceiling on the
+  resumable block — ``peak_block_bytes`` stays under the ceiling,
+  outputs and pruning traces unchanged, extra restart steps recorded.
 
 Emits ``BENCH_walks.json`` at the repo root so future PRs can diff the
-numbers.  Runs standalone (``python benchmarks/bench_walk_engine.py``,
-add ``--smoke`` for a quick small-size pass) or under pytest alongside
-the paper benchmarks.
+numbers; the payload carries
+:data:`repro.bench.harness.WALK_BENCH_SCHEMA_VERSION` and the
+docs/consistency CI job fails when the committed report is stale.  Runs
+standalone (``python benchmarks/bench_walk_engine.py``, add ``--smoke``
+for a quick small-size pass) or under pytest alongside the paper
+benchmarks.
 """
 
 from __future__ import annotations
@@ -25,7 +35,15 @@ import sys
 
 import numpy as np
 
-from repro.bench.harness import speedup, time_call, write_json_report
+from repro.bench.harness import (
+    WALK_BENCH_SCHEMA_VERSION,
+    speedup,
+    time_call,
+    write_json_report,
+)
+from repro.core.nway.partial_join import PartialJoin
+from repro.core.nway.query_graph import QueryGraph
+from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.backward import BackwardBasicJoin, BackwardIDJY
 from repro.core.two_way.base import make_context
 from repro.graph.builders import erdos_renyi, preferential_attachment
@@ -36,25 +54,33 @@ SMOKE_SIZES = (2000,)
 TOPOLOGIES = ("pref-attach", "erdos-renyi")
 SET_SIZE = 128
 K = 50
+STAR_SPOKES = 4
+STAR_SET_SIZE = 64
+# Chunked B-IDJ ceiling: an 8-column resumable window (16 bytes per
+# node per column), far below the full |Q|-wide block.
+CHUNK_WINDOW_COLS = 8
 REPORT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_walks.json",
 )
 
 
-def _workload(topology: str, num_nodes: int):
+def _graph(topology: str, num_nodes: int):
     if topology == "pref-attach":
         # Hub-heavy social topology: frontiers explode, the kernel's
         # dense middle dominates.
-        graph = preferential_attachment(num_nodes, 4, np.random.default_rng(2014))
-    elif topology == "erdos-renyi":
+        return preferential_attachment(num_nodes, 4, np.random.default_rng(2014))
+    if topology == "erdos-renyi":
         # Bounded-degree topology: frontiers grow slowly, the sparse
         # head and restricted tail carry most steps.
-        graph = erdos_renyi(
+        return erdos_renyi(
             num_nodes, 4.0 / num_nodes, np.random.default_rng(2014), weighted=True
         )
-    else:
-        raise ValueError(f"unknown topology {topology!r}")
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def _workload(topology: str, num_nodes: int):
+    graph = _graph(topology, num_nodes)
     rng = np.random.default_rng(num_nodes)
     nodes = rng.permutation(num_nodes)
     left = sorted(int(u) for u in nodes[:SET_SIZE])
@@ -131,9 +157,99 @@ def bench_size(topology: str, num_nodes: int, repeats: int = 3) -> dict:
     }
 
 
+def bench_bound_cache(topology: str, num_nodes: int) -> dict:
+    """Shared bound/plan cache and bounded-memory ``B-IDJ`` measurements.
+
+    The ``PJ`` workload is a directed star: every query edge has the
+    centre set as its left side, so all edges share one ``(P, d)``
+    Y-bound key — the best case the cache is built for and the shape
+    Example 4 of the paper uses.  ``share_bounds=False`` reproduces the
+    pre-sharing cost (one reach-mass build per edge context).
+    """
+    graph = _graph(topology, num_nodes)
+    rng = np.random.default_rng(num_nodes + 1)
+    nodes = rng.permutation(num_nodes)
+    sets = [
+        sorted(int(u) for u in nodes[i * STAR_SET_SIZE : (i + 1) * STAR_SET_SIZE])
+        for i in range(STAR_SPOKES + 1)
+    ]
+    query = QueryGraph.star(STAR_SPOKES, bidirectional=False)
+
+    def run_pj(share_bounds: bool):
+        spec = NWayJoinSpec(
+            graph=graph,
+            query_graph=query,
+            node_sets=[list(s) for s in sets],
+            k=K,
+            d=8,
+            share_bounds=share_bounds,
+        )
+        spec.engine.stats.reset()
+        answers = PartialJoin(spec).run()
+        stats = spec.engine.stats
+        return answers, stats.bound_builds, stats.bound_cache_hits
+
+    shared_answers, shared_builds, shared_hits = run_pj(True)
+    unshared_answers, unshared_builds, _ = run_pj(False)
+    pj_match = [
+        (a.nodes, a.score) for a in shared_answers
+    ] == [(a.nodes, a.score) for a in unshared_answers]
+
+    # --- bounded-memory chunked B-IDJ --------------------------------
+    left, right = sets[0], sets[1]
+    full_ctx = make_context(graph, left, right, d=8)
+    full_alg = BackwardIDJY(full_ctx)
+    full_result = full_alg.top_k(K)
+    full_trace = list(full_alg.pruning_trace)
+    full_steps = full_ctx.engine.stats.propagation_steps
+    full_peak = full_ctx.engine.stats.peak_block_bytes
+
+    ceiling = 16 * num_nodes * CHUNK_WINDOW_COLS
+    chunk_ctx = make_context(graph, left, right, d=8, max_block_bytes=ceiling)
+    chunk_alg = BackwardIDJY(chunk_ctx)
+    chunk_result = chunk_alg.top_k(K)
+    chunk_steps = chunk_ctx.engine.stats.propagation_steps
+    chunk_peak = chunk_ctx.engine.stats.peak_block_bytes
+    chunk_match = (
+        [(p.left, p.right) for p in chunk_result]
+        == [(p.left, p.right) for p in full_result]
+        and np.allclose(
+            [p.score for p in chunk_result],
+            [p.score for p in full_result],
+            atol=1e-12,
+        )
+        and chunk_alg.pruning_trace == full_trace
+    )
+
+    return {
+        "topology": topology,
+        "nodes": num_nodes,
+        "edges": graph.num_edges,
+        "star_spokes": STAR_SPOKES,
+        "set_size": STAR_SET_SIZE,
+        "d": 8,
+        "k": K,
+        "pj_bound_builds_shared": shared_builds,
+        "pj_bound_builds_unshared": unshared_builds,
+        "pj_bound_cache_hits_shared": shared_hits,
+        "pj_build_reduction": speedup(
+            float(unshared_builds), float(shared_builds)
+        ),
+        "pj_answers_match": bool(pj_match),
+        "bidj_max_block_bytes": ceiling,
+        "bidj_peak_block_bytes": chunk_peak,
+        "bidj_unbounded_peak_block_bytes": full_peak,
+        "bidj_ceiling_honored": bool(chunk_peak <= ceiling),
+        "bidj_chunked_steps": chunk_steps,
+        "bidj_unbounded_steps": full_steps,
+        "bidj_chunked_outputs_match": bool(chunk_match),
+    }
+
+
 def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
     """Run the sweep, print a summary, and write the JSON report."""
     results = []
+    bound_cache_results = []
     for topology in TOPOLOGIES:
         for num_nodes in sizes:
             row = bench_size(topology, num_nodes, repeats=repeats)
@@ -148,7 +264,27 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                 f"(cached rerun {row['bidj_cached_rerun_steps']}, "
                 f"match={row['bidj_outputs_match']})"
             )
-    payload = {"benchmark": "walk_engine", "workloads": results}
+            bc_row = bench_bound_cache(topology, num_nodes)
+            bound_cache_results.append(bc_row)
+            print(
+                f"{bc_row['topology']:>12} n={bc_row['nodes']:>6}  "
+                f"PJ star Y-builds {bc_row['pj_bound_builds_unshared']} -> "
+                f"{bc_row['pj_bound_builds_shared']} "
+                f"({bc_row['pj_build_reduction']:.1f}x, "
+                f"match={bc_row['pj_answers_match']})  "
+                f"B-IDJ block {bc_row['bidj_unbounded_peak_block_bytes']} -> "
+                f"{bc_row['bidj_peak_block_bytes']} B "
+                f"(ceiling {bc_row['bidj_max_block_bytes']} B, "
+                f"steps {bc_row['bidj_unbounded_steps']} -> "
+                f"{bc_row['bidj_chunked_steps']}, "
+                f"match={bc_row['bidj_chunked_outputs_match']})"
+            )
+    payload = {
+        "benchmark": "walk_engine",
+        "schema_version": WALK_BENCH_SCHEMA_VERSION,
+        "workloads": results,
+        "bound_cache": bound_cache_results,
+    }
     write_json_report(report_path, payload)
     print(f"wrote {report_path}")
     return payload
@@ -168,6 +304,17 @@ def test_batched_bbj_faster_and_equivalent(tmp_path):
         write_json_report(
             str(tmp_path / "BENCH_walks.json"), {"workloads": [row]}
         )
+
+
+def test_bound_cache_sharing_and_chunked_bidj():
+    for topology in TOPOLOGIES:
+        row = bench_bound_cache(topology, SMOKE_SIZES[0])
+        assert row["pj_answers_match"], topology
+        assert (
+            row["pj_bound_builds_unshared"] >= 2 * row["pj_bound_builds_shared"]
+        ), topology
+        assert row["bidj_chunked_outputs_match"], topology
+        assert row["bidj_ceiling_honored"], topology
 
 
 if __name__ == "__main__":

@@ -12,11 +12,12 @@ Quick start::
     answers = multi_way_join(graph, QueryGraph.chain(3),
                              [[0], [2], [4]], k=1)
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-paper-versus-measured record of every table and figure.
+See ``README.md`` for the architecture map and paper-name glossary, and
+``docs/BENCHMARKS.md`` for how the performance trajectory is measured.
 """
 
 from repro.api import multi_way_join, two_way_join
+from repro.bounds_cache import BoundPlanCache
 from repro.core.dht import DHTParams
 from repro.core.nway.aggregates import AVG, MAX, MIN, SUM
 from repro.core.nway.query_graph import QueryGraph
@@ -29,6 +30,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AVG",
+    "BoundPlanCache",
     "DHTParams",
     "Graph",
     "GraphValidationError",

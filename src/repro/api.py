@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.bounds_cache import BoundPlanCache
 from repro.core.dht import DHTParams
 from repro.core.nway.aggregates import MIN, Aggregate
 from repro.core.nway.all_pairs import AllPairsJoin
@@ -43,6 +44,8 @@ def two_way_join(
     epsilon: Optional[float] = None,
     engine: Optional[WalkEngine] = None,
     walk_cache: Optional[WalkCache] = None,
+    bound_cache: Optional[BoundPlanCache] = None,
+    max_block_bytes: Optional[int] = None,
 ) -> List[ScoredPair]:
     """Top-``k`` 2-way join between node sets ``left`` and ``right``.
 
@@ -57,6 +60,14 @@ def two_way_join(
         Optional :class:`~repro.walks.cache.WalkCache` (must be bound to
         the same engine and params).  Pass one cache to a sequence of
         joins on the same graph to reuse backward walks across them.
+    bound_cache:
+        Optional :class:`~repro.bounds_cache.BoundPlanCache` (same
+        binding rule).  Pass one cache to a sequence of joins to reuse
+        ``Y`` bounds and restricted-tail plans across them; omitted, a
+        private per-join cache is created.
+    max_block_bytes:
+        Optional byte ceiling on ``B-IDJ``'s resumable walk block; see
+        :class:`~repro.core.two_way.base.TwoWayContext`.
 
     Returns
     -------
@@ -65,7 +76,8 @@ def two_way_join(
     """
     context = make_context(
         graph, left, right, params=params, d=d, epsilon=epsilon, engine=engine,
-        walk_cache=walk_cache,
+        walk_cache=walk_cache, bound_cache=bound_cache,
+        max_block_bytes=max_block_bytes,
     )
     algorithm_cls = two_way_algorithm_by_name(algorithm)
     return algorithm_cls(context).top_k(k)
@@ -87,6 +99,8 @@ def multi_way_join(
     epsilon: Optional[float] = None,
     engine: Optional[WalkEngine] = None,
     share_walks: bool = True,
+    share_bounds: bool = True,
+    max_block_bytes: Optional[int] = None,
 ) -> List[CandidateAnswer]:
     """Top-``k`` n-way join over ``query_graph`` (Definition 4).
 
@@ -103,6 +117,14 @@ def multi_way_join(
         Share one walk cache across all query edges (default), so
         overlapping node sets never walk the same target twice.  Disable
         to reproduce the seed's per-edge walk costs.
+    share_bounds:
+        Share one bound/plan cache across all query edges (default), so
+        edges that agree on the left node set build each ``Y`` bound and
+        restricted-tail plan once.  Disable to reproduce the per-edge
+        build costs.
+    max_block_bytes:
+        Optional byte ceiling on each edge's resumable walk block; see
+        :class:`~repro.core.two_way.base.TwoWayContext`.
 
     Returns
     -------
@@ -121,6 +143,8 @@ def multi_way_join(
         epsilon=epsilon,
         engine=engine,
         share_walks=share_walks,
+        share_bounds=share_bounds,
+        max_block_bytes=max_block_bytes,
     )
     name = algorithm.lower()
     if name == "nl":

@@ -1,0 +1,19 @@
+"""Shared bound/plan cache: reuse pruning artifacts across query edges.
+
+PR 1 made the *walks* shared (:class:`repro.walks.cache.WalkCache`); this
+package shares the other half of the paper's pruning machinery — the
+``Y_l^+`` reach-mass bounds of Theorem 1 and the restricted-tail
+propagation plans — across every 2-way context that agrees on the
+``(graph, params)`` pair.  Star and clique :class:`NWayJoinSpec` query
+graphs repeat the same left node set on many edges, and ``PJ``'s restart
+refills re-materialise the same edges over and over; with a shared
+:class:`BoundPlanCache` each ``(P, d)`` reach-mass propagation and each
+``(rows, d)`` tail plan is built exactly once per join lifetime.
+"""
+
+from repro.bounds_cache.cache import BoundCacheStats, BoundPlanCache
+
+__all__ = [
+    "BoundCacheStats",
+    "BoundPlanCache",
+]

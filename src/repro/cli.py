@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--decay", type=float, default=0.2, help="lambda")
         p.add_argument("--epsilon", type=float, default=1e-6,
                        help="truncation error target (Lemma 1)")
+        p.add_argument(
+            "--max-block-bytes", type=int, default=None,
+            help="ceiling on B-IDJ's resumable walk block "
+                 "(bounded-memory chunked rounds; default unbounded)",
+        )
         p.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON")
 
@@ -80,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     multi.add_argument(
         "--no-walk-cache", action="store_false", dest="share_walks",
         help="disable the cross-edge walk cache (seed per-edge walk costs)",
+    )
+    multi.add_argument(
+        "--no-bound-cache", action="store_false", dest="share_bounds",
+        help="disable the cross-edge bound/plan cache "
+             "(per-edge Y-bound and tail-plan builds)",
     )
 
     stats = sub.add_parser("stats", help="print graph statistics")
@@ -128,6 +138,7 @@ def _run_two_way(args) -> int:
         graph, left, right, k=args.k,
         algorithm=args.algorithm,
         params=_dht_params(args), epsilon=args.epsilon,
+        max_block_bytes=args.max_block_bytes,
     )
     if args.as_json:
         print(json.dumps(
@@ -152,6 +163,8 @@ def _run_multi_way(args) -> int:
         m=args.m,
         params=_dht_params(args), epsilon=args.epsilon,
         share_walks=args.share_walks,
+        share_bounds=args.share_bounds,
+        max_block_bytes=args.max_block_bytes,
     )
     if args.as_json:
         print(json.dumps(

@@ -15,6 +15,19 @@ Both backward iterative-deepening joins bound the final score
 Lemma 5 guarantees ``Y_l^+(P, q) <= X_l^+`` — the Y bound always prunes at
 least as well; the property tests verify this, and Fig. 10(b)'s benchmark
 measures how much it matters.
+
+Memoisation semantics: a :class:`YBound` depends only on
+``(graph, params, P, d)`` — not on the right set, not on ``k`` — so it is
+shared through the :class:`repro.bounds_cache.BoundPlanCache` attached to
+every :class:`~repro.core.two_way.base.TwoWayContext`.  A context created
+standalone gets a private cache (so repeated joins on one context, e.g.
+``PJ``'s restart refills, build the bound once); contexts created by an
+:class:`~repro.core.nway.spec.NWayJoinSpec` share one cache across all
+query edges, so a star spec whose edges repeat the centre set as ``P``
+pays for one reach-mass propagation total instead of one per edge.
+Every build increments ``engine.stats.bound_builds`` and every cache hit
+``engine.stats.bound_cache_hits`` — the counters behind the
+``bound_cache`` section of ``BENCH_walks.json``.
 """
 
 from __future__ import annotations
@@ -107,6 +120,7 @@ class YBound:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self._d = d
+        engine.stats.bound_builds += 1
         reach = engine.reach_mass_series(sources, d)  # (d, n)
         capped = np.minimum(reach, 1.0)
         weights = (params.alpha * params.decay ** np.arange(1, d + 1))[:, None]

@@ -22,7 +22,7 @@ from typing import List
 from repro.core.nway.candidates import CandidateAnswer
 from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.backward import BackwardBasicJoin
-from repro.core.two_way.base import TwoWayContext, sort_pairs
+from repro.core.two_way.base import sort_pairs
 from repro.core.two_way.forward import ForwardBasicJoin
 from repro.graph.validation import GraphValidationError
 from repro.rankjoin.inputs import MaterializedInput
@@ -57,17 +57,7 @@ class AllPairsJoin:
             return []
         inputs = []
         for e in range(spec.query_graph.num_edges):
-            left, right = spec.edge_node_sets(e)
-            context = TwoWayContext(
-                graph=spec.graph,
-                params=spec.params,
-                left=list(left),
-                right=list(right),
-                d=spec.d,
-                engine=spec.engine,
-                walk_cache=spec.walk_cache,
-            )
-            pairs = sort_pairs(self._materializer(context).all_pairs())
+            pairs = sort_pairs(self._materializer(spec.edge_context(e)).all_pairs())
             inputs.append(
                 MaterializedInput(pairs, name=spec.query_graph.edge_name(e))
             )

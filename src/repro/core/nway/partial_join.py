@@ -118,16 +118,7 @@ class PartialJoin:
         inputs = []
         providers = []
         for e in range(spec.query_graph.num_edges):
-            left, right = spec.edge_node_sets(e)
-            context = TwoWayContext(
-                graph=spec.graph,
-                params=spec.params,
-                left=list(left),
-                right=list(right),
-                d=spec.d,
-                engine=spec.engine,
-                walk_cache=spec.walk_cache,
-            )
+            context = spec.edge_context(e)
             provider = _RestartProvider(context, self._algorithm_cls, self._m)
             providers.append(provider)
             inputs.append(

@@ -17,7 +17,6 @@ from typing import List
 from repro.core.nway.candidates import CandidateAnswer
 from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.backward import x_bound_factory, y_bound_factory
-from repro.core.two_way.base import TwoWayContext
 from repro.core.two_way.incremental import IncrementalTwoWayJoin
 from repro.graph.validation import GraphValidationError
 from repro.rankjoin.inputs import LazyInput
@@ -75,16 +74,7 @@ class PartialJoinIncremental:
         inputs = []
         joins = []
         for e in range(spec.query_graph.num_edges):
-            left, right = spec.edge_node_sets(e)
-            context = TwoWayContext(
-                graph=spec.graph,
-                params=spec.params,
-                left=list(left),
-                right=list(right),
-                d=spec.d,
-                engine=spec.engine,
-                walk_cache=spec.walk_cache,
-            )
+            context = spec.edge_context(e)
             join = IncrementalTwoWayJoin(context, bound_factory=self._bound_factory)
             joins.append(join)
             inputs.append(

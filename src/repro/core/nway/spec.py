@@ -5,7 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.bounds_cache import BoundPlanCache
 from repro.core.dht import DHTParams
+from repro.core.two_way.base import TwoWayContext
 from repro.core.nway.aggregates import MIN, Aggregate
 from repro.core.nway.query_graph import QueryGraph
 from repro.graph.digraph import Graph
@@ -41,6 +43,20 @@ class NWayJoinSpec:
         ``share_walks`` is false), so edges whose node sets overlap —
         star and clique specs especially — never walk the same target
         twice.
+    bound_cache / share_bounds:
+        One :class:`~repro.bounds_cache.BoundPlanCache` shared by every
+        query edge (created automatically unless ``share_bounds`` is
+        false), the bound-layer twin of the walk cache: edges that
+        agree on the left node set — every edge of a star spec, the
+        repeated sets of a clique — build the ``Y_l^+`` reach-mass
+        table and the ``B-BJ`` restricted-tail plan once instead of
+        once per edge, and ``PJ`` restarts / ``PJ-i`` refinements reuse
+        them too.  With ``share_bounds`` false each edge context falls
+        back to a private cache (the pre-sharing, per-edge build cost).
+    max_block_bytes:
+        Optional resumable-block byte ceiling forwarded to every edge
+        context; caps ``B-IDJ``'s per-edge walk-block memory (see
+        :class:`~repro.core.two_way.base.TwoWayContext`).
     """
 
     graph: Graph
@@ -54,6 +70,9 @@ class NWayJoinSpec:
     engine: WalkEngine = field(default=None)  # type: ignore[assignment]
     walk_cache: Optional[WalkCache] = None
     share_walks: bool = True
+    bound_cache: Optional[BoundPlanCache] = None
+    share_bounds: bool = True
+    max_block_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.params is None:
@@ -80,8 +99,34 @@ class NWayJoinSpec:
             self.engine = WalkEngine(self.graph)
         if self.walk_cache is None and self.share_walks:
             self.walk_cache = WalkCache(self.engine, self.params)
+        if self.bound_cache is None and self.share_bounds:
+            self.bound_cache = BoundPlanCache(self.engine, self.params)
+        if self.max_block_bytes is not None and self.max_block_bytes < 1:
+            raise GraphValidationError(
+                f"max_block_bytes must be >= 1, got {self.max_block_bytes}"
+            )
 
     def edge_node_sets(self, edge_index: int) -> tuple:
         """The (left, right) node sets of query edge ``edge_index``."""
         i, j = self.query_graph.edges[edge_index]
         return self.node_sets[i], self.node_sets[j]
+
+    def edge_context(self, edge_index: int) -> TwoWayContext:
+        """A validated 2-way context for query edge ``edge_index``.
+
+        Every n-way algorithm builds its per-edge joins through this
+        method, so the spec's shared engine, walk cache, bound cache,
+        and ``max_block_bytes`` ceiling reach each edge uniformly.
+        """
+        left, right = self.edge_node_sets(edge_index)
+        return TwoWayContext(
+            graph=self.graph,
+            params=self.params,
+            left=list(left),
+            right=list(right),
+            d=self.d,
+            engine=self.engine,
+            walk_cache=self.walk_cache,
+            bound_cache=self.bound_cache,
+            max_block_bytes=self.max_block_bytes,
+        )

@@ -32,7 +32,7 @@ equivalence oracles: :func:`back_walk_series` and
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -95,11 +95,16 @@ class _RestrictedTail:
     frontier.  This plan materialises the nested node sets
     ``R_0 = rows``, ``R_{j+1} = out_nbrs(R_j) | R_0`` and the submatrix
     operators ``A_j = T[R_j][:, R_{j+1}]``, for as many levels as the
-    row slice stays under half of ``nnz(T)``.  Built once per
-    ``all_pairs`` call and shared by every target chunk.
+    row slice stays under half of ``nnz(T)``.  The plan depends only on
+    ``(graph, rows, d)``, so it is served through the context's
+    :class:`~repro.bounds_cache.BoundPlanCache`: shared by every target
+    chunk of one ``all_pairs`` call *and* by later calls over the same
+    left set — ``PJ`` restarts that re-materialise an edge reuse the
+    plan instead of re-slicing the transition matrix.
     """
 
     def __init__(self, context: TwoWayContext, rows: np.ndarray) -> None:
+        context.engine.stats.plan_builds += 1
         transition = context.graph.transition_matrix()
         out_degrees = np.diff(transition.indptr)
         budget = transition.nnz // 2
@@ -138,7 +143,7 @@ def _block_scores_at_rows(
     context: TwoWayContext,
     targets,
     rows: np.ndarray,
-    tail: Optional[_RestrictedTail] = None,
+    tail: _RestrictedTail,
 ) -> np.ndarray:
     """Full-depth scores for a target block, evaluated at ``rows`` only.
 
@@ -174,8 +179,6 @@ def _block_scores_at_rows(
     transition = context.graph.transition_matrix()
     in_degrees = engine.in_degree_array()
     dense_step_flops = transition.nnz * width
-    if tail is None:
-        tail = _RestrictedTail(context, rows)
     base = tail.node_sets[0]  # sorted rows
 
     # Step 1 is a column slice of T (the one-hot product), kept sparse.
@@ -251,7 +254,9 @@ class BackwardBasicJoin:
     are propagated in blocks of ``block_size`` columns (one sparse-dense
     product per step per block); ``block_size=1`` selects the seed
     per-target kernel, kept as the equivalence oracle and as the
-    benchmark baseline.
+    benchmark baseline.  A ``max_block_bytes`` ceiling on the context
+    clamps the block width so each propagated block's buffers stay
+    under it, same per-block semantics as ``B-IDJ``'s chunked rounds.
     """
 
     name = "B-BJ"
@@ -263,6 +268,11 @@ class BackwardBasicJoin:
             raise GraphValidationError(
                 f"block_size must be >= 1, got {block_size}"
             )
+        if context.max_block_bytes is not None:
+            cap = max(
+                1, context.max_block_bytes // (16 * context.engine.num_nodes)
+            )
+            block_size = min(block_size, cap)
         self._ctx = context
         self._block_size = block_size
 
@@ -290,7 +300,9 @@ class BackwardBasicJoin:
         """
         ctx = self._ctx
         left = ctx.left_array
-        tail = _RestrictedTail(ctx, left)
+        tail = ctx.bound_cache.tail_plan(
+            ctx.left, ctx.d, lambda: _RestrictedTail(ctx, left)
+        )
         pairs: List[ScoredPair] = []
         for start in range(0, len(ctx.right), self._block_size):
             chunk = ctx.right[start : start + self._block_size]
@@ -356,15 +368,19 @@ def y_bound_factory(context: TwoWayContext) -> YBound:
     """``U_l^+ = Y_l^+(P, q)`` (Theorem 1) — the ``B-IDJ-Y`` configuration.
 
     Construction runs a one-off ``O(d |E_G|)`` reach-mass propagation
-    from all of ``P``, memoised on the context: repeated joins over the
-    same inputs (``PJ``'s restart refills) reuse the bound instead of
-    re-propagating.
+    from all of ``P``, served through the context's
+    :class:`~repro.bounds_cache.BoundPlanCache`: repeated joins over the
+    same inputs (``PJ``'s restart refills) and sibling query edges that
+    agree on the left set (every edge of a star spec, repeated sets of a
+    clique spec — they share one cache via their
+    :class:`~repro.core.nway.spec.NWayJoinSpec`) reuse the bound instead
+    of re-propagating.
     """
-    cached = getattr(context, "_y_bound", None)
-    if cached is None:
-        cached = YBound(context.engine, context.params, context.left, context.d)
-        context._y_bound = cached
-    return cached
+    return context.bound_cache.y_bound(
+        context.left,
+        context.d,
+        lambda: YBound(context.engine, context.params, context.left, context.d),
+    )
 
 
 class BackwardIDJ:
@@ -378,6 +394,25 @@ class BackwardIDJ:
     targets are served from the cache and pruned targets donate their
     resumable column so later joins pick up where this one stopped.
 
+    With ``max_block_bytes`` set (here or on the context), the full-width
+    block — ``O(n |Q|)`` floats for very large right sets — is replaced
+    by bounded-memory chunked rounds: a resumable *window* of at most
+    ``max_block_bytes`` (16 bytes per node per column: walker mass plus
+    score prefix) is retained between deepening levels, and overflow
+    targets are walked in throwaway chunks of the same size, restarting
+    at each level.  Survivors of the throwaway chunks are folded into
+    the window as pruning frees columns; chunks beyond one window's
+    worth of repack candidates are dropped as soon as their scores are
+    read, and score vectors are consumed streaming (only their left-row
+    slice is kept), so a round's live walk memory is
+    ``O(max_block_bytes + |P| |Q|)`` rather than the unbounded mode's
+    ``O(n |Q|)``.  Scores are bit-identical
+    either way (Eq. 5 columns propagate independently), so the top-``k``
+    output and the pruning trace do not change — only the
+    memory/compute trade-off does, visible as extra
+    ``propagation_steps`` and a capped ``peak_block_bytes`` in the
+    engine stats.
+
     Parameters
     ----------
     context:
@@ -389,6 +424,9 @@ class BackwardIDJ:
     observer:
         Optional :class:`WalkObserver` mirroring walk results (used by
         ``PJ-i``).
+    max_block_bytes:
+        Resumable-block byte ceiling; defaults to the context's value
+        (``None`` = unbounded full-width block).
 
     Attributes
     ----------
@@ -404,10 +442,18 @@ class BackwardIDJ:
         context: TwoWayContext,
         bound_factory: BoundFactory,
         observer: Optional[WalkObserver] = None,
+        max_block_bytes: Optional[int] = None,
     ) -> None:
+        if max_block_bytes is None:
+            max_block_bytes = context.max_block_bytes
+        elif max_block_bytes < 1:
+            raise GraphValidationError(
+                f"max_block_bytes must be >= 1, got {max_block_bytes}"
+            )
         self._ctx = context
         self._bound_factory = bound_factory
         self._observer = observer
+        self._max_block_bytes = max_block_bytes
         self.pruning_trace: List[dict] = []
 
     def top_k(self, k: int) -> List[ScoredPair]:
@@ -422,60 +468,116 @@ class BackwardIDJ:
         self.pruning_trace = []
         left = ctx.left_array
         zero = ctx.params.zero_score
+        max_cols: Optional[int] = None
+        if self._max_block_bytes is not None:
+            # Two (n, B) float64 buffers per column: mass + score prefix.
+            max_cols = max(
+                1, self._max_block_bytes // (16 * ctx.engine.num_nodes)
+            )
 
         active: List[int] = list(ctx.right)
-        state: Optional[WalkState] = None
+        state: Optional[WalkState] = None  # retained resumable window
         state_cols: Dict[int, int] = {}
+        # This round's repack candidates (window + a budgeted prefix of
+        # the throwaway chunks), for prune-time cache donation and
+        # survivor re-packing.
+        round_chunks: List[Tuple[WalkState, List[int]]] = []
+        walked: Dict[int, Tuple[WalkState, int]] = {}
 
-        def level_vectors(level: int) -> Dict[int, np.ndarray]:
-            """Score vectors for every active target at ``level``.
+        def walk_level(level: int, consume) -> None:
+            """Feed every active target's ``level`` score vector to
+            ``consume(q, vector)`` — vectors are *not* retained here.
 
             Resolution order per target: cached vector (no walk), the
-            shared resumable block (extended in batch), then the cache's
-            own single-column resume path for targets that were
-            cache-served at an earlier level but missed at this one.
+            retained resumable block (extended in batch), then — in the
+            unbounded mode — the cache's own single-column resume path
+            for targets that were cache-served at an earlier level but
+            missed at this one.  Targets that fit neither (bounded mode
+            overflow) are walked in throwaway chunks of at most
+            ``max_cols`` columns, restarted per level; only the first
+            ``max_cols`` columns' worth of chunks are kept alive as
+            repack candidates, the rest are dropped as soon as their
+            vectors are consumed, so the round's live walk blocks stay
+            ``O(max_block_bytes)`` no matter how large ``|Q|`` is.
             """
             nonlocal state, state_cols
-            vectors: Dict[int, np.ndarray] = {}
-            block_targets: List[int] = []
+            round_chunks.clear()
+            walked.clear()
+            resident: List[int] = []
+            pending: List[int] = []
             for q in active:
                 if cache is not None:
                     cached = cache.peek(q, level)
                     if cached is not None:
-                        vectors[q] = cached
+                        consume(q, cached)
                         continue
-                if state is None or q in state_cols:
-                    block_targets.append(q)
-                else:
+                if state is not None and q in state_cols:
+                    resident.append(q)
+                elif max_cols is None and state is not None:
                     # The peek above already recorded this miss.
-                    vectors[q] = cache.scores(q, level, count_stats=False)
-            if block_targets:
-                if state is None:
-                    state = WalkState(ctx.engine, ctx.params, block_targets)
-                    state_cols = {q: j for j, q in enumerate(block_targets)}
-                state.advance_to(level)
-                for q in block_targets:
-                    vector = state.score_column(state_cols[q])
+                    consume(q, cache.scores(q, level, count_stats=False))
+                else:
+                    pending.append(q)
+            if state is None and pending:
+                # Cold start: the first walking round claims residency.
+                claim = pending if max_cols is None else pending[:max_cols]
+                pending = pending[len(claim):]
+                state = WalkState(ctx.engine, ctx.params, claim)
+                state_cols = {q: j for j, q in enumerate(claim)}
+                resident = claim
+            if state is not None:
+                if resident:
+                    state.advance_to(level)
+                round_chunks.append(
+                    (state, [int(t) for t in state.targets])
+                )
+                for q in resident:
+                    column = state_cols[q]
+                    walked[q] = (state, column)
+                    vector = state.score_column(column)
                     if cache is not None:
                         cache.put_scores(q, level, vector)
-                    vectors[q] = vector
-            return vectors
+                    consume(q, vector)
+            if pending:  # bounded-mode overflow: throwaway chunks
+                width = max_cols if max_cols is not None else len(pending)
+                candidate_cols = 0
+                for start in range(0, len(pending), width):
+                    group = pending[start : start + width]
+                    chunk = WalkState(ctx.engine, ctx.params, group)
+                    chunk.advance_to(level)
+                    retain = max_cols is None or candidate_cols < max_cols
+                    if retain:
+                        candidate_cols += len(group)
+                        round_chunks.append((chunk, group))
+                    for j, q in enumerate(group):
+                        if retain:
+                            walked[q] = (chunk, j)
+                        vector = chunk.score_column(j)
+                        if cache is not None:
+                            cache.put_scores(q, level, vector)
+                        consume(q, vector)
 
         level = 1
         while level < ctx.d:
-            vectors = level_vectors(level)
-            tails = np.array([bound.tail(level, q) for q in active])
-            if self._observer is not None:
-                for q, tail in zip(active, tails):
-                    self._observer.observe(q, level, vectors[q], float(tail))
             # The seed's per-p Python loop, vectorised: gather the left
-            # rows of every column, mask reflexive pairs, take column
-            # maxima, and feed informative entries to the bounded floor.
+            # rows of every column as its vector streams past, mask
+            # reflexive pairs, take column maxima, and feed informative
+            # entries to the bounded floor.  Only the (|P|, width)
+            # left-row slice is retained — never the full vectors.
             width = len(active)
             targets_arr = np.asarray(active, dtype=np.int64)
+            tails = np.array([bound.tail(level, q) for q in active])
+            column_of = {q: j for j, q in enumerate(active)}
             left_scores = np.empty((left.size, width), dtype=np.float64)
-            for j, q in enumerate(active):
-                left_scores[:, j] = vectors[q][left]
+
+            def gather(q, vector, level=level, tails=tails,
+                       column_of=column_of, left_scores=left_scores):
+                j = column_of[q]
+                if self._observer is not None:
+                    self._observer.observe(q, level, vector, float(tails[j]))
+                left_scores[:, j] = vector[left]
+
+            walk_level(level, gather)
             valid = left[:, None] != targets_arr[None, :]
             floor = BoundedTopK(k)
             # Algorithm 2, step 7: only informative lower bounds (pairs
@@ -494,29 +596,75 @@ class BackwardIDJ:
                     "threshold": t_k,
                 }
             )
-            if state is not None:
-                if cache is not None:
-                    for q, flag in zip(active, keep):
-                        if not flag and q in state_cols:
-                            cache.adopt(state.extract_column(state_cols[q]))
-                kept = [(q, state_cols[q]) for q in surviving if q in state_cols]
-                if len(kept) != state.width:
-                    if kept:
-                        state = state.select([column for _, column in kept])
-                        state_cols = {q: j for j, (q, _) in enumerate(kept)}
-                    else:
-                        state, state_cols = None, {}
+            if cache is not None:
+                for q, flag in zip(active, keep):
+                    if not flag and q in walked:
+                        holder, column = walked[q]
+                        cache.adopt(holder.extract_column(column))
+            state, state_cols = self._repack(
+                round_chunks, set(surviving), level, max_cols
+            )
             active = surviving
             level *= 2
 
-        vectors = level_vectors(ctx.d)
         pairs: List[ScoredPair] = []
-        for q in active:
-            vector = vectors[q]
+
+        def emit(q, vector):
             if self._observer is not None:
                 self._observer.observe(q, ctx.d, vector, 0.0)
             pairs.extend(ctx.pairs_for_target(vector, q))
+
+        walk_level(ctx.d, emit)
         return top_k_pairs(pairs, k)
+
+    @staticmethod
+    def _repack(
+        parts: List[Tuple[WalkState, List[int]]],
+        survivors: set,
+        level: int,
+        max_cols: Optional[int],
+    ) -> Tuple[Optional[WalkState], Dict[int, int]]:
+        """Narrow this round's walked blocks and fold them into the next
+        retained window.
+
+        Unbounded mode has a single part (the full-width block):
+        narrowing it in place preserves the PR-1 behaviour, including
+        the no-copy fast path when nothing was pruned from the block.
+        Bounded mode packs survivor columns — window first, then this
+        round's throwaway chunks — until the ``max_cols`` budget is
+        full; the rest are dropped and re-walked at the next level.
+        Only parts at this round's ``level`` are concatenated (the
+        window can lag a round when all its targets were cache-served);
+        a lagging window is kept only when nothing newer survived.
+        """
+        narrowed: List[Tuple[WalkState, List[int]]] = []
+        for st, targets in parts:
+            kept_cols = [j for j, q in enumerate(targets) if q in survivors]
+            if not kept_cols:
+                continue
+            kept_targets = [targets[j] for j in kept_cols]
+            if len(kept_cols) != st.width:
+                st = st.select(kept_cols)
+            narrowed.append((st, kept_targets))
+        if not narrowed:
+            return None, {}
+        current = [p for p in narrowed if p[0].level == level]
+        if not current:
+            current = narrowed[:1]
+        pieces: List[WalkState] = []
+        packed: List[int] = []
+        for st, targs in current:
+            if max_cols is not None:
+                room = max_cols - len(packed)
+                if room <= 0:
+                    break
+                if len(targs) > room:
+                    st = st.select(list(range(room)))
+                    targs = targs[:room]
+            pieces.append(st)
+            packed.extend(targs)
+        state = pieces[0] if len(pieces) == 1 else WalkState.concat(pieces)
+        return state, {q: j for j, q in enumerate(packed)}
 
     def top_k_reference(self, k: int) -> List[ScoredPair]:
         """The seed implementation: per-target walks, restarted per level.
@@ -579,9 +727,15 @@ class BackwardIDJX(BackwardIDJ):
     name = "B-IDJ-X"
 
     def __init__(
-        self, context: TwoWayContext, observer: Optional[WalkObserver] = None
+        self,
+        context: TwoWayContext,
+        observer: Optional[WalkObserver] = None,
+        max_block_bytes: Optional[int] = None,
     ) -> None:
-        super().__init__(context, x_bound_factory, observer=observer)
+        super().__init__(
+            context, x_bound_factory, observer=observer,
+            max_block_bytes=max_block_bytes,
+        )
 
 
 class BackwardIDJY(BackwardIDJ):
@@ -594,6 +748,12 @@ class BackwardIDJY(BackwardIDJ):
     name = "B-IDJ-Y"
 
     def __init__(
-        self, context: TwoWayContext, observer: Optional[WalkObserver] = None
+        self,
+        context: TwoWayContext,
+        observer: Optional[WalkObserver] = None,
+        max_block_bytes: Optional[int] = None,
     ) -> None:
-        super().__init__(context, y_bound_factory, observer=observer)
+        super().__init__(
+            context, y_bound_factory, observer=observer,
+            max_block_bytes=max_block_bytes,
+        )

@@ -15,6 +15,7 @@ from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from repro.bounds_cache import BoundPlanCache
 from repro.core.dht import DHTParams
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError, validate_node_set
@@ -139,6 +140,22 @@ class TwoWayContext:
         from it and the backward joins donate their walks into it; an
         n-way spec shares one cache across all its query edges.  Must be
         bound to the same engine and params as this context.
+    bound_cache:
+        The :class:`~repro.bounds_cache.BoundPlanCache` serving ``Y``
+        bounds and restricted-tail plans.  A private cache is created
+        when none is passed, so repeated joins on one context (``PJ``
+        restart refills) build each artifact once; an n-way spec passes
+        one shared cache to every edge context so edges that agree on
+        the left set share the build too.  Must be bound to the same
+        engine and params as this context.
+    max_block_bytes:
+        Optional ceiling, in bytes, on any single resumable walk block
+        (mass + score prefix, 16 bytes per node per column).  ``B-IDJ``
+        reads it and switches to bounded-memory chunked rounds, and
+        ``B-BJ`` clamps its block width under it; ``None`` (default)
+        keeps the full-width / default-width blocks.  A ceiling below
+        the cost of one column (``16 * num_nodes``) is honoured as
+        single-column chunks — the smallest block Eq. 5 can propagate.
     """
 
     graph: Graph
@@ -148,6 +165,8 @@ class TwoWayContext:
     d: int
     engine: WalkEngine = field(default=None)  # type: ignore[assignment]
     walk_cache: Optional[WalkCache] = None
+    bound_cache: Optional[BoundPlanCache] = None
+    max_block_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.left = validate_node_set(self.graph.num_nodes, self.left, "left node set")
@@ -165,6 +184,21 @@ class TwoWayContext:
                 raise GraphValidationError(
                     "walk_cache was built for different DHT params"
                 )
+        if self.bound_cache is None:
+            self.bound_cache = BoundPlanCache(self.engine, self.params)
+        else:
+            if self.bound_cache.engine is not self.engine:
+                raise GraphValidationError(
+                    "bound_cache is bound to a different engine than this context"
+                )
+            if self.bound_cache.params != self.params:
+                raise GraphValidationError(
+                    "bound_cache was built for different DHT params"
+                )
+        if self.max_block_bytes is not None and self.max_block_bytes < 1:
+            raise GraphValidationError(
+                f"max_block_bytes must be >= 1, got {self.max_block_bytes}"
+            )
         self._left_array = np.asarray(self.left, dtype=np.int64)
 
     @property
@@ -201,6 +235,8 @@ def make_context(
     epsilon: Optional[float] = None,
     engine: Optional[WalkEngine] = None,
     walk_cache: Optional[WalkCache] = None,
+    bound_cache: Optional[BoundPlanCache] = None,
+    max_block_bytes: Optional[int] = None,
 ) -> TwoWayContext:
     """Build a :class:`TwoWayContext` with the paper's defaults.
 
@@ -215,5 +251,6 @@ def make_context(
         d = params.steps_for_epsilon(epsilon if epsilon is not None else 1e-6)
     return TwoWayContext(
         graph=graph, params=params, left=list(left), right=list(right), d=d,
-        engine=engine, walk_cache=walk_cache,
+        engine=engine, walk_cache=walk_cache, bound_cache=bound_cache,
+        max_block_bytes=max_block_bytes,
     )

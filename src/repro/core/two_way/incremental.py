@@ -22,6 +22,10 @@ if the context has none): the instrumented ``B-IDJ`` donates its walk
 state there, so a doubled-length re-walk *extends* the recorded
 ``l``-step walk instead of restarting from scratch — each target pays
 for every propagation step at most once across the join's lifetime.
+The ``Y`` bound comes from the context's
+:class:`~repro.bounds_cache.BoundPlanCache` the same way: inside a
+``PJ-i`` run all query edges share one cache via the spec, so edges
+that agree on the left set reuse one reach-mass build.
 """
 
 from __future__ import annotations

@@ -19,6 +19,12 @@ Two layers per target, bounded by an LRU over targets:
 Algorithms that batch their own walks (``B-BJ``, ``B-IDJ``) donate their
 results via :meth:`WalkCache.put_scores` / :meth:`WalkCache.adopt` so
 later joins and refinements resume where they left off.
+
+This cache covers the *walk* half of the sharing story; the bound half —
+``Y_l^+`` reach-mass tables and restricted-tail plans, which likewise
+depend only on ``(graph, params)`` plus a node set — lives in the
+sibling :class:`repro.bounds_cache.BoundPlanCache`.  N-way specs create
+one of each and pass both to every query-edge context.
 """
 
 from __future__ import annotations

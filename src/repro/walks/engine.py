@@ -31,7 +31,12 @@ Two batched refinements on top of the per-target Eq. 5 kernel:
 
 Every kernel reports its work through :attr:`WalkEngine.stats`
 (column-steps and sparse products), which the benchmarks use to prove
-the resumable paths do strictly less propagation.
+the resumable paths do strictly less propagation.  The same stats object
+carries the bound-layer counters (``bound_builds`` / ``bound_cache_hits``
+for ``Y_l^+`` reach-mass tables, ``plan_builds`` / ``plan_cache_hits``
+for restricted-tail plans, ``peak_block_bytes`` for the resumable-block
+memory high-water mark) so one counter source is the perf currency for
+the whole walk-and-bound stack — ``BENCH_walks.json`` is built from it.
 """
 
 from __future__ import annotations
@@ -56,15 +61,43 @@ class WalkEngineStats:
     checking that *resumable* walks (which skip re-walked prefixes) do
     strictly less work.  ``sparse_products`` counts CSR mat-vec /
     mat-mat calls and therefore *does* drop under batching.
+
+    The bound-layer counters mirror the same philosophy for the pruning
+    machinery: ``bound_builds`` counts ``Y_l^+`` reach-mass constructions
+    (one ``O(d |E_G|)`` propagation each, incremented by
+    :class:`repro.core.bounds.YBound` itself so every build is counted
+    regardless of the code path), ``bound_cache_hits`` counts Y bounds
+    served from a :class:`repro.bounds_cache.BoundPlanCache` without
+    building, and ``plan_builds`` / ``plan_cache_hits`` do the same for
+    restricted-tail propagation plans.  ``peak_block_bytes`` is the
+    high-water mark of any single resumable walk block's buffers
+    (walker mass + score prefix, 16 bytes per node per column) — the
+    number a ``max_block_bytes`` ceiling on ``B-IDJ`` is checked
+    against.
     """
 
     propagation_steps: int = 0
     sparse_products: int = 0
+    bound_builds: int = 0
+    bound_cache_hits: int = 0
+    plan_builds: int = 0
+    plan_cache_hits: int = 0
+    peak_block_bytes: int = 0
+
+    def record_block_bytes(self, nbytes: int) -> None:
+        """Raise the resumable-block high-water mark to ``nbytes``."""
+        if nbytes > self.peak_block_bytes:
+            self.peak_block_bytes = nbytes
 
     def reset(self) -> None:
         """Zero all counters."""
         self.propagation_steps = 0
         self.sparse_products = 0
+        self.bound_builds = 0
+        self.bound_cache_hits = 0
+        self.plan_builds = 0
+        self.plan_cache_hits = 0
+        self.peak_block_bytes = 0
 
 
 class WalkEngine:

@@ -14,6 +14,14 @@ The score prefix is accumulated step-by-step (``acc += lambda^i P_i``),
 so extending a state and walking fresh to the same depth produce
 bit-identical scores — every batched/cached/resumable path in the repo
 shares this accumulation order.
+
+A state's buffers cost 16 bytes per node per column (two ``(n, B)``
+float64 blocks); :meth:`WalkState.advance_to` reports each
+materialisation to ``engine.stats.peak_block_bytes``, the counter a
+``max_block_bytes`` ceiling (``B-IDJ``'s chunked rounds) is audited
+against.  :meth:`WalkState.select` narrows a block to surviving columns
+and :meth:`WalkState.concat` re-packs same-level blocks — together they
+let ``B-IDJ`` keep its resumable window under a byte budget.
 """
 
 from __future__ import annotations
@@ -140,6 +148,10 @@ class WalkState:
                 )
                 self._acc += self._params.decay ** i * self._mass
             self._level = i
+        if self._mass is not None:
+            self._engine.stats.record_block_bytes(
+                self._mass.nbytes + self._acc.nbytes
+            )
         return self
 
     def extend(self, steps: int) -> "WalkState":
@@ -199,3 +211,42 @@ class WalkState:
     def extract_column(self, j: int) -> "WalkState":
         """A single-column copy of column ``j`` (for cache adoption)."""
         return self.select([j])
+
+    @staticmethod
+    def concat(states: Sequence["WalkState"]) -> "WalkState":
+        """Pack same-level states into one block (columns concatenated).
+
+        All states must share the engine, params, and level — Eq. 5
+        columns propagate independently, so re-packing changes nothing
+        about future steps.  ``B-IDJ``'s bounded-memory rounds use this
+        to fold the survivors of this round's throwaway chunks into the
+        retained resumable window.  The result owns fresh buffers.
+        """
+        if not states:
+            raise GraphValidationError("concat needs at least one state")
+        first = states[0]
+        for state in states[1:]:
+            if state._engine is not first._engine:
+                raise GraphValidationError(
+                    "concat needs states bound to the same engine"
+                )
+            if state._params != first._params:
+                raise GraphValidationError(
+                    "concat needs states with identical DHT params"
+                )
+            if state._level != first._level:
+                raise GraphValidationError(
+                    f"concat needs states at one level, got "
+                    f"{state._level} != {first._level}"
+                )
+        if len(states) == 1:
+            return first.select(np.arange(first.width))
+        targets = np.concatenate([s._targets for s in states])
+        if first._mass is None:
+            mass = acc = None
+        else:
+            mass = np.hstack([s._mass for s in states])
+            acc = np.hstack([s._acc for s in states])
+        return WalkState._restore(
+            first._engine, first._params, targets, first._level, mass, acc
+        )

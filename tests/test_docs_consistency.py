@@ -1,0 +1,112 @@
+"""Docs/consistency guard: the README quickstart must run, and the
+committed benchmark report must match the benchmark script's schema.
+
+Run by the tier-1 suite and by the CI ``docs`` job, so a PR cannot land
+a front-door snippet that no longer executes or change the
+``BENCH_walks.json`` payload without regenerating the committed report
+(see docs/BENCHMARKS.md).
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import WALK_BENCH_SCHEMA_VERSION
+from repro.cli import main as cli_main
+from repro.graph.builders import path_graph
+from repro.graph.io import write_edge_list, write_node_sets
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+BENCH_REPORT = REPO_ROOT / "BENCH_walks.json"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _python_snippets():
+    return _FENCE.findall(README.read_text(encoding="utf-8"))
+
+
+def test_readme_exists_with_python_quickstart():
+    snippets = _python_snippets()
+    assert snippets, "README.md must contain at least one ```python fence"
+
+
+def test_readme_python_snippets_execute():
+    """Every ``python`` fence in the README runs, in order, in one
+    namespace — the quickstart is a contract, not an illustration."""
+    namespace = {}
+    for snippet in _python_snippets():
+        exec(compile(snippet, str(README), "exec"), namespace)
+
+
+def test_readme_cli_commands_exist():
+    """Each documented `python -m repro <subcommand>` is a real one."""
+    text = README.read_text(encoding="utf-8")
+    documented = set(re.findall(r"python -m repro (\S+)", text))
+    assert documented, "README must document CLI usage"
+    assert documented <= {"two-way", "multi-way", "stats"}
+
+
+def test_cli_quickstart_flow(tmp_path, capsys):
+    """The README's on-disk workflow (TSV graph + JSON sets) round-trips
+    through every documented subcommand."""
+    graph_path = tmp_path / "graph.tsv"
+    sets_path = tmp_path / "sets.json"
+    write_edge_list(path_graph(6), graph_path)
+    write_node_sets({"DB": [0, 1], "AI": [4, 5], "CENTER": [2, 3]}, sets_path)
+    assert cli_main(["stats", str(graph_path), "--json"]) == 0
+    assert (
+        cli_main(
+            [
+                "two-way", str(graph_path), "--sets", str(sets_path),
+                "--left", "DB", "--right", "AI", "-k", "2", "--json",
+            ]
+        )
+        == 0
+    )
+    assert (
+        cli_main(
+            [
+                "multi-way", str(graph_path), "--sets", str(sets_path),
+                "--shape", "star", "--node-sets", "CENTER", "DB", "AI",
+                "-k", "2", "--max-block-bytes", "4096", "--json",
+            ]
+        )
+        == 0
+    )
+    for line in capsys.readouterr().out.strip().splitlines():
+        json.loads(line)  # every --json output line is machine-readable
+
+
+def test_bench_report_not_stale():
+    """BENCH_walks.json must be regenerated when the schema changes."""
+    payload = json.loads(BENCH_REPORT.read_text(encoding="utf-8"))
+    assert payload.get("schema_version") == WALK_BENCH_SCHEMA_VERSION, (
+        "BENCH_walks.json is stale: regenerate it with "
+        "`PYTHONPATH=src python benchmarks/bench_walk_engine.py` "
+        "(see docs/BENCHMARKS.md)"
+    )
+    assert payload.get("benchmark") == "walk_engine"
+    assert payload.get("workloads"), "report must carry walk rows"
+    assert payload.get("bound_cache"), "schema 2 reports carry bound rows"
+
+
+def test_bench_report_claims_hold():
+    """The committed numbers satisfy the documented acceptance bars."""
+    payload = json.loads(BENCH_REPORT.read_text(encoding="utf-8"))
+    for row in payload["workloads"]:
+        assert row["bbj_outputs_match"] and row["bidj_outputs_match"]
+        assert row["bidj_resumable_steps"] < row["bidj_seed_steps"]
+    for row in payload["bound_cache"]:
+        assert row["pj_answers_match"] and row["bidj_chunked_outputs_match"]
+        assert row["pj_bound_builds_unshared"] >= 2 * row["pj_bound_builds_shared"]
+        assert row["bidj_ceiling_honored"]
+        assert row["bidj_peak_block_bytes"] <= row["bidj_max_block_bytes"]
+
+
+@pytest.mark.parametrize("path", ["README.md", "docs/BENCHMARKS.md", "ROADMAP.md"])
+def test_doc_files_present(path):
+    assert (REPO_ROOT / path).is_file(), f"{path} is part of the front door"
