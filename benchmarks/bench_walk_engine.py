@@ -17,7 +17,15 @@ degree-aware kernel):
   private caches, identical answers either way;
 * bounded-memory ``B-IDJ``: a ``max_block_bytes`` ceiling on the
   resumable block — ``peak_block_bytes`` stays under the ceiling,
-  outputs and pruning traces unchanged, extra restart steps recorded.
+  outputs and pruning traces unchanged, extra restart steps recorded;
+* the measure-generic stack (schema 3): batched vs. per-target PPR
+  scoring (``Series-B-BJ`` wall clock + identical-output check),
+  resumable vs. restart ``Series-IDJ`` step counts, and per-measure
+  n-way cache-hit counters — a bidirectional-star ``Series-PJ`` whose
+  edges share walks (repeated right sets) and reach-mass bounds
+  (repeated left sets), checked answer-identical against the
+  per-target ``Series-AP`` oracle; SimRank rows run the same n-way
+  check at a fixed small size (the measure is dense-quadratic).
 
 Emits ``BENCH_walks.json`` at the repo root so future PRs can diff the
 numbers; the payload carries
@@ -46,8 +54,17 @@ from repro.core.nway.query_graph import QueryGraph
 from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.backward import BackwardBasicJoin, BackwardIDJY
 from repro.core.two_way.base import make_context
+from repro.extensions.measures import TruncatedPPR
+from repro.extensions.series_join import (
+    SeriesAllPairsJoin,
+    SeriesBackwardJoin,
+    SeriesIDJ,
+    SeriesPartialJoin,
+)
+from repro.extensions.simrank import SimRankMeasure
 from repro.graph.builders import erdos_renyi, preferential_attachment
 from repro.walks.cache import WalkCache
+from repro.walks.engine import WalkEngine
 
 SIZES = (2000, 8000, 20000)
 SMOKE_SIZES = (2000,)
@@ -59,6 +76,21 @@ STAR_SET_SIZE = 64
 # Chunked B-IDJ ceiling: an 8-column resumable window (16 bytes per
 # node per column), far below the full |Q|-wide block.
 CHUNK_WINDOW_COLS = 8
+# Measure-generic rows: PPR at c=0.8 / eps=1e-4 gives d=41 — deep
+# enough that batching the 41 sparse products per block pays, shallow
+# enough to keep the per-target baseline tractable at 20k nodes.
+PPR_DAMPING = 0.8
+PPR_EPSILON = 1e-4
+# The n-way measure workload: a bidirectional star, so every edge
+# repeats the centre both as a right set (walk-cache hits) and as a
+# left set (reach-mass bound-cache hits).
+MEASURE_STAR_SPOKES = 3
+MEASURE_SET_SIZE = 48
+# SimRank is dense-quadratic; its n-way check runs at a fixed small
+# size regardless of the sweep.
+SIMRANK_NODES = 400
+SIMRANK_SET_SIZE = 32
+SIMRANK_ITERATIONS = 8
 REPORT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_walks.json",
@@ -246,10 +278,159 @@ def bench_bound_cache(topology: str, num_nodes: int) -> dict:
     }
 
 
+def _pairs_match(a, b) -> bool:
+    a, b = sorted(a), sorted(b)
+    return len(a) == len(b) and all(
+        x.left == y.left and x.right == y.right and abs(x.score - y.score) < 1e-10
+        for x, y in zip(a, b)
+    )
+
+
+def _measure_star_sets(num_nodes: int, set_size: int):
+    rng = np.random.default_rng(num_nodes + 7)
+    nodes = rng.permutation(num_nodes)
+    return [
+        sorted(int(u) for u in nodes[i * set_size : (i + 1) * set_size])
+        for i in range(MEASURE_STAR_SPOKES + 1)
+    ]
+
+
+def _measure_nway_counters(graph, measure_factory, set_size):
+    """Shared-cache ``Series-PJ`` over a bidirectional star vs. the
+    per-target ``Series-AP`` oracle: answers + cache-hit counters."""
+    sets = _measure_star_sets(graph.num_nodes, min(
+        set_size, graph.num_nodes // (MEASURE_STAR_SPOKES + 1)
+    ))
+    query = QueryGraph.star(MEASURE_STAR_SPOKES, bidirectional=True)
+    spec = NWayJoinSpec(
+        graph=graph,
+        query_graph=query,
+        node_sets=[list(s) for s in sets],
+        k=K,
+        measure=measure_factory(),
+    )
+    spec.engine.stats.reset()
+    answers = SeriesPartialJoin(spec).run()
+    oracle_spec = NWayJoinSpec(
+        graph=graph,
+        query_graph=query,
+        node_sets=[list(s) for s in sets],
+        k=K,
+        measure=measure_factory(),
+        share_walks=False,
+        share_bounds=False,
+    )
+    oracle = SeriesAllPairsJoin(oracle_spec, block_size=1).run()
+    # Batched-kernel and per-target scores may differ by summation-order
+    # rounding; compare like _pairs_match, not with raw float equality.
+    match = [a.nodes for a in answers] == [a.nodes for a in oracle] and np.allclose(
+        [a.score for a in answers], [a.score for a in oracle], atol=1e-10
+    )
+    return {
+        "nway_walk_cache_hits": spec.walk_cache.stats.hits,
+        "nway_bound_cache_hits": spec.bound_cache.stats.y_hits,
+        "nway_answers_match": bool(match),
+    }
+
+
+def bench_measure_ppr(topology: str, num_nodes: int, repeats: int = 3) -> dict:
+    """Batched / resumable / shared-cache PPR vs. its per-target oracles.
+
+    The measure-generic analogue of :func:`bench_size`: same workloads,
+    same step-count currency, PPR instead of DHT.
+    """
+    graph, left, right = _workload(topology, num_nodes)
+    measure = TruncatedPPR(damping=PPR_DAMPING, epsilon=PPR_EPSILON)
+    engine = WalkEngine(graph)
+
+    # --- batched vs per-target Series-B-BJ ---------------------------
+    per_target = time_call(
+        lambda: SeriesBackwardJoin(
+            graph, measure, left, right, engine=engine, block_size=1
+        ).all_pairs(),
+        repeats=repeats,
+    )
+    batched = time_call(
+        lambda: SeriesBackwardJoin(
+            graph, measure, left, right, engine=engine
+        ).all_pairs(),
+        repeats=repeats,
+    )
+    bbj_match = _pairs_match(
+        SeriesBackwardJoin(graph, measure, left, right, engine=engine).all_pairs(),
+        SeriesBackwardJoin(
+            graph, measure, left, right, engine=engine, block_size=1
+        ).all_pairs(),
+    )
+
+    # --- resumable vs restart-per-level Series-IDJ -------------------
+    engine.stats.reset()
+    resumable_result = SeriesIDJ(
+        graph, measure, left, right, engine=engine
+    ).top_k(K)
+    resumable_steps = engine.stats.propagation_steps
+    engine.stats.reset()
+    seed_result = SeriesIDJ(
+        graph, measure, left, right, engine=engine
+    ).top_k_reference(K)
+    seed_steps = engine.stats.propagation_steps
+    idj_match = _pairs_match(resumable_result, seed_result)
+
+    row = {
+        "measure": "ppr",
+        "topology": topology,
+        "nodes": num_nodes,
+        "edges": graph.num_edges,
+        "set_size": SET_SIZE,
+        "d": measure.d,
+        "k": K,
+        "damping": PPR_DAMPING,
+        "bbj_per_target_seconds": per_target,
+        "bbj_batched_seconds": batched,
+        "bbj_speedup": speedup(per_target, batched),
+        "bbj_outputs_match": bool(bbj_match),
+        "idj_seed_steps": seed_steps,
+        "idj_resumable_steps": resumable_steps,
+        "idj_outputs_match": bool(idj_match),
+    }
+    row.update(
+        _measure_nway_counters(
+            graph,
+            lambda: TruncatedPPR(damping=PPR_DAMPING, epsilon=PPR_EPSILON),
+            MEASURE_SET_SIZE,
+        )
+    )
+    return row
+
+
+def bench_measure_simrank(topology: str) -> dict:
+    """SimRank n-way counters at a fixed small size (dense-quadratic)."""
+    graph = _graph(topology, SIMRANK_NODES)
+    row = {
+        "measure": "simrank",
+        "topology": topology,
+        "nodes": SIMRANK_NODES,
+        "edges": graph.num_edges,
+        "set_size": SIMRANK_SET_SIZE,
+        "d": SIMRANK_ITERATIONS,
+        "k": K,
+        "decay": 0.8,
+    }
+    row.update(
+        _measure_nway_counters(
+            graph,
+            lambda: SimRankMeasure(iterations=SIMRANK_ITERATIONS),
+            SIMRANK_SET_SIZE,
+        )
+    )
+    return row
+
+
 def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
     """Run the sweep, print a summary, and write the JSON report."""
     results = []
     bound_cache_results = []
+    measure_results = []
     for topology in TOPOLOGIES:
         for num_nodes in sizes:
             row = bench_size(topology, num_nodes, repeats=repeats)
@@ -279,11 +460,34 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                 f"{bc_row['bidj_chunked_steps']}, "
                 f"match={bc_row['bidj_chunked_outputs_match']})"
             )
+            m_row = bench_measure_ppr(topology, num_nodes, repeats=repeats)
+            measure_results.append(m_row)
+            print(
+                f"{m_row['topology']:>12} n={m_row['nodes']:>6}  "
+                f"PPR B-BJ {m_row['bbj_per_target_seconds']:.3f}s -> "
+                f"{m_row['bbj_batched_seconds']:.3f}s "
+                f"({m_row['bbj_speedup']:.1f}x, "
+                f"match={m_row['bbj_outputs_match']})  "
+                f"IDJ steps {m_row['idj_seed_steps']} -> "
+                f"{m_row['idj_resumable_steps']}  "
+                f"n-way hits walk={m_row['nway_walk_cache_hits']} "
+                f"bound={m_row['nway_bound_cache_hits']} "
+                f"(match={m_row['nway_answers_match']})"
+            )
+        sr_row = bench_measure_simrank(topology)
+        measure_results.append(sr_row)
+        print(
+            f"{sr_row['topology']:>12} n={sr_row['nodes']:>6}  "
+            f"SimRank n-way hits walk={sr_row['nway_walk_cache_hits']} "
+            f"bound={sr_row['nway_bound_cache_hits']} "
+            f"(match={sr_row['nway_answers_match']})"
+        )
     payload = {
         "benchmark": "walk_engine",
         "schema_version": WALK_BENCH_SCHEMA_VERSION,
         "workloads": results,
         "bound_cache": bound_cache_results,
+        "measures": measure_results,
     }
     write_json_report(report_path, payload)
     print(f"wrote {report_path}")
@@ -315,6 +519,20 @@ def test_bound_cache_sharing_and_chunked_bidj():
         ), topology
         assert row["bidj_chunked_outputs_match"], topology
         assert row["bidj_ceiling_honored"], topology
+
+
+def test_measure_rows_equivalent_with_cache_hits():
+    for topology in TOPOLOGIES:
+        row = bench_measure_ppr(topology, SMOKE_SIZES[0], repeats=1)
+        assert row["bbj_outputs_match"], topology
+        assert row["idj_outputs_match"], topology
+        assert row["idj_resumable_steps"] < row["idj_seed_steps"], topology
+        assert row["nway_answers_match"], topology
+        assert row["nway_walk_cache_hits"] > 0, topology
+        assert row["nway_bound_cache_hits"] > 0, topology
+        sr_row = bench_measure_simrank(topology)
+        assert sr_row["nway_answers_match"], topology
+        assert sr_row["nway_walk_cache_hits"] > 0, topology
 
 
 if __name__ == "__main__":

@@ -10,11 +10,19 @@ Two entry points cover the paper's two query types:
 Both default to the paper's experimental configuration: ``DHT_lambda``
 with ``lambda = 0.2``, ``epsilon = 1e-6`` (hence ``d = 8``), ``MIN``
 aggregate, and ``m = k = 50``.
+
+Both accept a ``measure`` — a name (``"ppr"``, ``"simrank"``, or the
+DHT family) or a :class:`repro.extensions.measures.SeriesMeasure`
+instance — and route non-DHT measures to the measure-generic joins of
+:mod:`repro.extensions.series_join`, which run the same batched /
+resumable / cached walk-and-bound stack (Section VIII's future-work
+plan).  DHT names keep the tuned core algorithms and the
+``params``/``d``/``epsilon`` configuration.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.bounds_cache import BoundPlanCache
 from repro.core.dht import DHTParams
@@ -27,10 +35,51 @@ from repro.core.nway.partial_join_inc import PartialJoinIncremental
 from repro.core.nway.query_graph import QueryGraph
 from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.base import ScoredPair, make_context
+from repro.extensions.measures import measure_by_name
+from repro.extensions.series_join import (
+    series_multi_way_join,
+    series_two_way_join,
+)
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError
 from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
+
+
+def _resolve_measure(measure):
+    """``None`` for the DHT family, a ``SeriesMeasure`` otherwise."""
+    if measure is None or isinstance(measure, str):
+        return measure_by_name(measure) if isinstance(measure, str) else None
+    return measure
+
+
+def _reject_dht_options_under_measure(resolved, **options) -> None:
+    """Fail loudly when DHT-only options accompany a non-DHT measure.
+
+    A measure fixes its own coefficients and truncation depth (configure
+    it on the measure instance), and the measure-generic joins have no
+    bounded-memory chunked mode yet — silently dropping these options
+    would change results or memory behaviour without warning.
+    """
+    passed = [name for name, value in options.items() if value is not None]
+    if passed:
+        raise GraphValidationError(
+            f"{', '.join(sorted(passed))} are DHT-only options; measure "
+            f"{resolved.name} fixes its own configuration (construct the "
+            "measure instance with the desired parameters instead)"
+        )
+
+
+# The core 2-way names have measure-generic counterparts where the
+# algorithmic idea carries over; forward processing does not (it relies
+# on per-pair absorbing walks, a DHT-specific kernel).
+_SERIES_TWO_WAY = {
+    "b-bj": "basic",
+    "b-idj-x": "idj",
+    "b-idj-y": "idj",
+    "basic": "basic",
+    "idj": "idj",
+}
 
 
 def two_way_join(
@@ -46,6 +95,7 @@ def two_way_join(
     walk_cache: Optional[WalkCache] = None,
     bound_cache: Optional[BoundPlanCache] = None,
     max_block_bytes: Optional[int] = None,
+    measure: Optional[Union[str, object]] = None,
 ) -> List[ScoredPair]:
     """Top-``k`` 2-way join between node sets ``left`` and ``right``.
 
@@ -53,9 +103,19 @@ def two_way_join(
     ----------
     algorithm:
         One of ``"f-bj"``, ``"f-idj"``, ``"b-bj"``, ``"b-idj-x"``,
-        ``"b-idj-y"`` (default — the paper's fastest).
+        ``"b-idj-y"`` (default — the paper's fastest).  Under a non-DHT
+        measure the backward names map to their measure-generic
+        counterparts (``b-bj`` -> basic, ``b-idj-*`` -> iterative
+        deepening); the forward algorithms are DHT-only.
     params / d / epsilon:
         DHT configuration; see :class:`repro.core.dht.DHTParams`.
+        Rejected under a non-DHT measure (as is ``max_block_bytes``) —
+        the measure instance fixes its own coefficients and depth.
+    measure:
+        ``None`` / a DHT name for the core DHT path, or ``"ppr"`` /
+        ``"simrank"`` / a :class:`~repro.extensions.measures.SeriesMeasure`
+        instance for the measure-generic path.  String names use the
+        measure's default parameters; pass an instance to configure.
     walk_cache:
         Optional :class:`~repro.walks.cache.WalkCache` (must be bound to
         the same engine and params).  Pass one cache to a sequence of
@@ -72,8 +132,28 @@ def two_way_join(
     Returns
     -------
     list of ScoredPair
-        At most ``k`` pairs in descending DHT-score order.
+        At most ``k`` pairs in descending score order.
     """
+    resolved = _resolve_measure(measure)
+    if resolved is not None:
+        name = algorithm.lower()
+        if name not in _SERIES_TWO_WAY:
+            raise GraphValidationError(
+                f"algorithm {algorithm!r} is DHT-only; under measure "
+                f"{resolved.name} choose from {sorted(_SERIES_TWO_WAY)}"
+            )
+        _reject_dht_options_under_measure(
+            resolved, params=params, d=d, epsilon=epsilon,
+            max_block_bytes=max_block_bytes,
+        )
+        return series_two_way_join(
+            graph, left, right, k,
+            measure=resolved,
+            algorithm=_SERIES_TWO_WAY[name],
+            engine=engine,
+            walk_cache=walk_cache,
+            bound_cache=bound_cache,
+        )
     context = make_context(
         graph, left, right, params=params, d=d, epsilon=epsilon, engine=engine,
         walk_cache=walk_cache, bound_cache=bound_cache,
@@ -101,6 +181,7 @@ def multi_way_join(
     share_walks: bool = True,
     share_bounds: bool = True,
     max_block_bytes: Optional[int] = None,
+    measure: Optional[Union[str, object]] = None,
 ) -> List[CandidateAnswer]:
     """Top-``k`` n-way join over ``query_graph`` (Definition 4).
 
@@ -108,7 +189,17 @@ def multi_way_join(
     ----------
     algorithm:
         ``"nl"``, ``"ap"``, ``"pj"``, or ``"pj-i"`` (default — the
-        paper's best).
+        paper's best).  Under a non-DHT measure, ``"ap"`` and ``"pj"``
+        map to the measure-generic strategies and ``"pj-i"`` falls back
+        to ``"pj"`` (incremental refinement is DHT-specific); ``"nl"``
+        is DHT-only.
+    measure:
+        ``None`` / a DHT name for the core DHT path, or ``"ppr"`` /
+        ``"simrank"`` / a :class:`~repro.extensions.measures.SeriesMeasure`
+        instance for the measure-generic path (shared walks and bounds
+        across all query edges, exactly as for DHT).  The DHT-only
+        options ``params``/``d``/``epsilon``/``max_block_bytes`` are
+        rejected alongside a non-DHT measure.
     aggregate:
         Monotone ``f`` over per-edge DHT scores (default ``MIN``).
     m:
@@ -130,8 +221,30 @@ def multi_way_join(
     -------
     list of CandidateAnswer
         At most ``k`` answers in descending aggregate-score order; each
-        carries its node tuple and per-edge DHT scores.
+        carries its node tuple and per-edge scores.
     """
+    resolved = _resolve_measure(measure)
+    if resolved is not None:
+        name = algorithm.lower()
+        if name not in ("ap", "pj", "pj-i"):
+            raise GraphValidationError(
+                f"algorithm {algorithm!r} is DHT-only; under measure "
+                f"{resolved.name} choose from ['ap', 'pj', 'pj-i']"
+            )
+        _reject_dht_options_under_measure(
+            resolved, params=params, d=d, epsilon=epsilon,
+            max_block_bytes=max_block_bytes,
+        )
+        return series_multi_way_join(
+            graph, query_graph, node_sets, k,
+            measure=resolved,
+            aggregate=aggregate,
+            engine=engine,
+            algorithm=name,
+            m=m,
+            share_walks=share_walks,
+            share_bounds=share_bounds,
+        )
     spec = NWayJoinSpec(
         graph=graph,
         query_graph=query_graph,

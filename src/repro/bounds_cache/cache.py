@@ -1,7 +1,8 @@
-"""Per-``(graph, params)`` cache of bound and plan artifacts.
+"""Per-``(graph, measure)`` cache of bound and plan artifacts.
 
-Two artifact kinds are cached, both keyed by the node set that
-parameterises them plus the walk depth ``d``:
+Three artifact kinds are cached, keyed by the node set that
+parameterises them (empty for the data-independent ``X`` bound) plus
+the walk depth ``d``:
 
 * **Y bounds** (Theorem 1): the reach-mass suffix table built by
   :class:`repro.core.bounds.YBound` depends only on
@@ -20,11 +21,25 @@ parameterises them plus the walk depth ``d``:
   the transition matrix.  With a walk cache attached ``B-BJ`` scores
   through full resumable blocks it donates to the cache, which needs no
   tail plan, so those runs never touch this entry kind.
+* **X bounds** (Lemma 2): the closed-form geometric tail depends only
+  on ``(params, d)``, so it is keyed by the empty node set.  Cheap to
+  build, but ``F-IDJ`` and ``B-IDJ-X`` used to rebuild it per join
+  instance — under ``PJ``'s restart refills that is one rebuild per
+  refill; the cache serves it once per depth, and the hits land in the
+  engine stats like every other bound hit.
+
+The same cache serves the measure-generic joins: a cache built for a
+non-DHT measure (its ``params`` is the measure's cache identity, e.g. a
+:class:`~repro.walks.kernels.PPRBlockKernel`) memoises that measure's
+reach-mass tail bounds under the same ``("y", P, d)`` keys.  Because
+every cache is private to one ``(graph, measure)`` pair — enforced by
+the context/spec validation — DHT and PPR artifacts can never collide
+even when their node-set-plus-depth keys coincide.
 
 The cache is deliberately *generic*: artifacts are produced by caller
 supplied zero-argument builders, so this module depends on neither
 :mod:`repro.core.bounds` nor the join algorithms (no import cycles).
-Capacity is a single LRU over both kinds; hit/build counts are mirrored
+Capacity is a single LRU over all kinds; hit/build counts are mirrored
 into :class:`repro.walks.engine.WalkEngineStats` (``bound_cache_hits``,
 ``plan_cache_hits``) so benchmarks read one counter source.
 """
@@ -52,6 +67,8 @@ class BoundCacheStats:
     y_builds: int = 0
     plan_hits: int = 0
     plan_builds: int = 0
+    x_hits: int = 0
+    x_builds: int = 0
     evictions: int = 0
 
     def reset(self) -> None:
@@ -60,6 +77,8 @@ class BoundCacheStats:
         self.y_builds = 0
         self.plan_hits = 0
         self.plan_builds = 0
+        self.x_hits = 0
+        self.x_builds = 0
         self.evictions = 0
 
 
@@ -72,18 +91,20 @@ class BoundPlanCache:
         The graph's walk engine; cached artifacts are only valid for its
         graph.
     params:
-        DHT coefficients the Y bounds are folded with.  Tail plans do
-        not depend on ``params``, but keeping one cache per
-        ``(engine, params)`` pair mirrors :class:`repro.walks.cache.WalkCache`
-        and keeps the validation story uniform.
+        The measure identity the bounds are folded with: DHT
+        coefficients, a block kernel, or any hashable value object.
+        Tail plans do not depend on ``params``, but keeping one cache
+        per ``(engine, measure)`` pair mirrors
+        :class:`repro.walks.cache.WalkCache` and keeps the validation
+        (and cross-measure isolation) story uniform.
     max_entries:
-        LRU bound over both artifact kinds together.  A Y bound costs
+        LRU bound over all artifact kinds together.  A Y bound costs
         ``O(d |V_G|)`` floats, a tail plan a few row-sliced sparse
         operators; the default keeps worst-case retention modest.
     """
 
     def __init__(
-        self, engine: WalkEngine, params: "DHTParams", max_entries: int = 64
+        self, engine: WalkEngine, params: "DHTParams | object", max_entries: int = 64
     ) -> None:
         if max_entries < 1:
             raise GraphValidationError(
@@ -101,13 +122,13 @@ class BoundPlanCache:
         return self._engine
 
     @property
-    def params(self) -> "DHTParams":
-        """The DHT coefficients cached Y bounds were folded with."""
+    def params(self) -> "DHTParams | object":
+        """The measure identity cached bounds were folded with."""
         return self._params
 
     @property
     def max_entries(self) -> int:
-        """LRU capacity over both artifact kinds."""
+        """LRU capacity over all artifact kinds."""
         return self._max_entries
 
     def __len__(self) -> int:
@@ -149,6 +170,17 @@ class BoundPlanCache:
         """
         return self._get(("tail", self.node_set_key(rows), int(d)), build)
 
+    def x_bound(self, d: int, build: Callable[[], object]):
+        """The closed-form ``X_l^+`` bound at depth ``d``, built at most once.
+
+        ``X`` depends only on this cache's params and ``d`` (Lemma 2 —
+        no node set, no data), so the key carries the empty node set.
+        ``build`` must return a :class:`repro.core.bounds.XBound` (or a
+        measure's closed-form tail) for this cache's params; it runs
+        only on a miss.
+        """
+        return self._get(("x", (), int(d)), build)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -160,6 +192,9 @@ class BoundPlanCache:
             if key[0] == "y":
                 self.stats.y_hits += 1
                 self._engine.stats.bound_cache_hits += 1
+            elif key[0] == "x":
+                self.stats.x_hits += 1
+                self._engine.stats.bound_cache_hits += 1
             else:
                 self.stats.plan_hits += 1
                 self._engine.stats.plan_cache_hits += 1
@@ -167,6 +202,8 @@ class BoundPlanCache:
         artifact = build()
         if key[0] == "y":
             self.stats.y_builds += 1
+        elif key[0] == "x":
+            self.stats.x_builds += 1
         else:
             self.stats.plan_builds += 1
         self._entries[key] = artifact

@@ -10,6 +10,10 @@ Usage (after ``pip install -e .``)::
     python -m repro multi-way graph.tsv --sets sets.json \\
         --shape chain --node-sets DB AI SYS -k 5 --aggregate MIN
 
+    # the same star join under Personalized PageRank
+    python -m repro multi-way graph.tsv --sets sets.json \\
+        --shape star --node-sets CENTER A B -k 5 --measure ppr
+
     # dataset statistics
     python -m repro stats graph.tsv
 
@@ -28,6 +32,8 @@ from repro.api import multi_way_join, two_way_join
 from repro.core.dht import DHTParams
 from repro.core.nway.aggregates import aggregate_by_name
 from repro.core.nway.query_graph import QueryGraph
+from repro.extensions.measures import TruncatedPPR
+from repro.extensions.simrank import SimRankMeasure
 from repro.graph.io import read_edge_list, read_node_sets
 from repro.graph.validation import GraphValidationError
 
@@ -47,11 +53,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sets", required=True, help="JSON node-set file")
         p.add_argument("-k", type=int, default=10, help="answers to return")
         p.add_argument(
-            "--measure", choices=("dht-lambda", "dht-e"), default="dht-lambda"
+            "--measure",
+            choices=("dht-lambda", "dht-e", "dht", "ppr", "simrank"),
+            default="dht-lambda",
+            help="proximity measure ('dht' aliases 'dht-lambda'; 'ppr' and "
+                 "'simrank' run the measure-generic join stack)",
         )
         p.add_argument("--decay", type=float, default=0.2, help="lambda")
         p.add_argument("--epsilon", type=float, default=1e-6,
-                       help="truncation error target (Lemma 1)")
+                       help="truncation error target (Lemma 1; also sets "
+                            "PPR's depth)")
+        p.add_argument("--damping", type=float, default=0.85,
+                       help="PPR continuation probability c (--measure ppr)")
+        p.add_argument("--sr-decay", type=float, default=0.8,
+                       help="SimRank decay C (--measure simrank)")
+        p.add_argument("--sr-iterations", type=int, default=10,
+                       help="SimRank fixed-point sweeps (--measure simrank)")
         p.add_argument(
             "--max-block-bytes", type=int, default=None,
             help="ceiling on B-IDJ's resumable walk block "
@@ -104,6 +121,15 @@ def _dht_params(args) -> DHTParams:
     return DHTParams.dht_lambda(args.decay)
 
 
+def _series_measure(args):
+    """The non-DHT measure object selected by ``--measure``, or ``None``."""
+    if args.measure == "ppr":
+        return TruncatedPPR(damping=args.damping, epsilon=args.epsilon)
+    if args.measure == "simrank":
+        return SimRankMeasure(decay=args.sr_decay, iterations=args.sr_iterations)
+    return None
+
+
 def _query_graph(shape: str, n: int, bidirectional: bool,
                  names: Sequence[str]) -> QueryGraph:
     if shape == "chain":
@@ -134,12 +160,23 @@ def _resolve_sets(path: str, names: Sequence[str]) -> List[List[int]]:
 def _run_two_way(args) -> int:
     graph = read_edge_list(args.graph)
     left, right = _resolve_sets(args.sets, [args.left, args.right])
-    pairs = two_way_join(
-        graph, left, right, k=args.k,
-        algorithm=args.algorithm,
-        params=_dht_params(args), epsilon=args.epsilon,
-        max_block_bytes=args.max_block_bytes,
-    )
+    measure = _series_measure(args)
+    if measure is not None:
+        # max_block_bytes is DHT-only; forwarding it lets the API reject
+        # the combination loudly instead of silently ignoring the flag.
+        pairs = two_way_join(
+            graph, left, right, k=args.k,
+            algorithm=args.algorithm,
+            measure=measure,
+            max_block_bytes=args.max_block_bytes,
+        )
+    else:
+        pairs = two_way_join(
+            graph, left, right, k=args.k,
+            algorithm=args.algorithm,
+            params=_dht_params(args), epsilon=args.epsilon,
+            max_block_bytes=args.max_block_bytes,
+        )
     if args.as_json:
         print(json.dumps(
             [{"left": p.left, "right": p.right, "score": p.score} for p in pairs]
@@ -156,16 +193,29 @@ def _run_multi_way(args) -> int:
     query = _query_graph(
         args.shape, len(sets), args.bidirectional, args.node_sets
     )
-    answers = multi_way_join(
-        graph, query, sets, k=args.k,
-        algorithm=args.algorithm,
-        aggregate=aggregate_by_name(args.aggregate),
-        m=args.m,
-        params=_dht_params(args), epsilon=args.epsilon,
-        share_walks=args.share_walks,
-        share_bounds=args.share_bounds,
-        max_block_bytes=args.max_block_bytes,
-    )
+    measure = _series_measure(args)
+    if measure is not None:
+        answers = multi_way_join(
+            graph, query, sets, k=args.k,
+            algorithm=args.algorithm,
+            aggregate=aggregate_by_name(args.aggregate),
+            m=args.m,
+            measure=measure,
+            share_walks=args.share_walks,
+            share_bounds=args.share_bounds,
+            max_block_bytes=args.max_block_bytes,
+        )
+    else:
+        answers = multi_way_join(
+            graph, query, sets, k=args.k,
+            algorithm=args.algorithm,
+            aggregate=aggregate_by_name(args.aggregate),
+            m=args.m,
+            params=_dht_params(args), epsilon=args.epsilon,
+            share_walks=args.share_walks,
+            share_bounds=args.share_bounds,
+            max_block_bytes=args.max_block_bytes,
+        )
     if args.as_json:
         print(json.dumps(
             [

@@ -57,6 +57,18 @@ class NWayJoinSpec:
         Optional resumable-block byte ceiling forwarded to every edge
         context; caps ``B-IDJ``'s per-edge walk-block memory (see
         :class:`~repro.core.two_way.base.TwoWayContext`).
+    measure:
+        Optional :class:`repro.extensions.measures.SeriesMeasure`
+        (duck-typed; the core layer never imports ``extensions``).
+        ``None`` (default) is DHT: params/d/epsilon behave as above.
+        With a measure set, the measure fixes its own truncation depth
+        (``d = measure.d``; passing ``params``/``d``/``epsilon`` is an
+        error) and both shared caches are keyed by the measure's
+        :meth:`cache_key`, so a PPR spec and a DHT spec on the same
+        graph keep fully isolated cache universes.  Measure specs are
+        consumed by the n-way joins in
+        :mod:`repro.extensions.series_join`; the DHT algorithms
+        (``NL``/``AP``/``PJ``/``PJ-i``) require ``measure=None``.
     """
 
     graph: Graph
@@ -73,15 +85,24 @@ class NWayJoinSpec:
     bound_cache: Optional[BoundPlanCache] = None
     share_bounds: bool = True
     max_block_bytes: Optional[int] = None
+    measure: Optional[object] = None
 
     def __post_init__(self) -> None:
-        if self.params is None:
-            self.params = DHTParams.dht_lambda(0.2)
-        if self.d is not None and self.epsilon is not None:
-            raise GraphValidationError("pass either d or epsilon, not both")
-        if self.d is None:
-            eps = self.epsilon if self.epsilon is not None else 1e-6
-            self.d = self.params.steps_for_epsilon(eps)
+        if self.measure is not None:
+            if self.params is not None or self.d is not None or self.epsilon is not None:
+                raise GraphValidationError(
+                    "a measure spec fixes its own depth and coefficients; "
+                    "do not pass params, d, or epsilon alongside measure"
+                )
+            self.d = self.measure.d
+        else:
+            if self.params is None:
+                self.params = DHTParams.dht_lambda(0.2)
+            if self.d is not None and self.epsilon is not None:
+                raise GraphValidationError("pass either d or epsilon, not both")
+            if self.d is None:
+                eps = self.epsilon if self.epsilon is not None else 1e-6
+                self.d = self.params.steps_for_epsilon(eps)
         if self.d < 1:
             raise GraphValidationError(f"d must be >= 1, got {self.d}")
         if self.k < 0:
@@ -97,10 +118,13 @@ class NWayJoinSpec:
         ]
         if self.engine is None:
             self.engine = WalkEngine(self.graph)
+        key_params = (
+            self.measure.cache_key() if self.measure is not None else self.params
+        )
         if self.walk_cache is None and self.share_walks:
-            self.walk_cache = WalkCache(self.engine, self.params)
+            self.walk_cache = WalkCache(self.engine, key_params)
         if self.bound_cache is None and self.share_bounds:
-            self.bound_cache = BoundPlanCache(self.engine, self.params)
+            self.bound_cache = BoundPlanCache(self.engine, key_params)
         if self.max_block_bytes is not None and self.max_block_bytes < 1:
             raise GraphValidationError(
                 f"max_block_bytes must be >= 1, got {self.max_block_bytes}"
@@ -129,4 +153,5 @@ class NWayJoinSpec:
             walk_cache=self.walk_cache,
             bound_cache=self.bound_cache,
             max_block_bytes=self.max_block_bytes,
+            measure=self.measure,
         )

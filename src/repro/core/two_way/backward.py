@@ -360,8 +360,16 @@ BoundFactory = Callable[[TwoWayContext], ScoreUpperBound]
 
 
 def x_bound_factory(context: TwoWayContext) -> XBound:
-    """``U_l^+ = X_l^+`` (Lemma 2) — the ``B-IDJ-X`` configuration."""
-    return XBound(context.params, context.d)
+    """``U_l^+ = X_l^+`` (Lemma 2) — the ``B-IDJ-X`` configuration.
+
+    Served through the context's
+    :class:`~repro.bounds_cache.BoundPlanCache` (keyed by depth only —
+    ``X`` is data-independent), so repeated joins on one context and
+    ``F-IDJ`` runs at the same depth share one table.
+    """
+    return context.bound_cache.x_bound(
+        context.d, lambda: XBound(context.params, context.d)
+    )
 
 
 def y_bound_factory(context: TwoWayContext) -> YBound:

@@ -156,10 +156,22 @@ class TwoWayContext:
         keeps the full-width / default-width blocks.  A ceiling below
         the cost of one column (``16 * num_nodes``) is honoured as
         single-column chunks — the smallest block Eq. 5 can propagate.
+    measure:
+        Optional :class:`repro.extensions.measures.SeriesMeasure`
+        (duck-typed — the core layer never imports ``extensions``).
+        ``None`` (default) selects DHT: ``params`` are required and the
+        caches are keyed by them.  With a measure set, ``params`` may be
+        ``None``, ``d`` should be the measure's truncation depth, and
+        both caches are keyed by the measure's :meth:`cache_key` — so a
+        DHT cache and a PPR cache on the same graph can never be mixed
+        (the validation below rejects the swap).  The DHT-specific
+        algorithms (``F-*``/``B-*``) require ``measure=None``; the
+        measure-generic joins in :mod:`repro.extensions.series_join`
+        consume measure contexts.
     """
 
     graph: Graph
-    params: DHTParams
+    params: Optional[DHTParams]
     left: List[int]
     right: List[int]
     d: int
@@ -167,39 +179,54 @@ class TwoWayContext:
     walk_cache: Optional[WalkCache] = None
     bound_cache: Optional[BoundPlanCache] = None
     max_block_bytes: Optional[int] = None
+    measure: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.left = validate_node_set(self.graph.num_nodes, self.left, "left node set")
         self.right = validate_node_set(self.graph.num_nodes, self.right, "right node set")
+        if self.params is None and self.measure is None:
+            raise GraphValidationError(
+                "a TwoWayContext needs DHT params or a series measure"
+            )
         if self.d < 1:
             raise GraphValidationError(f"d must be >= 1, got {self.d}")
         if self.engine is None:
             self.engine = WalkEngine(self.graph)
+        key_params = self.cache_params
         if self.walk_cache is not None:
             if self.walk_cache.engine is not self.engine:
                 raise GraphValidationError(
                     "walk_cache is bound to a different engine than this context"
                 )
-            if self.walk_cache.params != self.params:
+            if self.walk_cache.params != key_params:
                 raise GraphValidationError(
-                    "walk_cache was built for different DHT params"
+                    "walk_cache was built for a different measure configuration"
                 )
         if self.bound_cache is None:
-            self.bound_cache = BoundPlanCache(self.engine, self.params)
+            self.bound_cache = BoundPlanCache(self.engine, key_params)
         else:
             if self.bound_cache.engine is not self.engine:
                 raise GraphValidationError(
                     "bound_cache is bound to a different engine than this context"
                 )
-            if self.bound_cache.params != self.params:
+            if self.bound_cache.params != key_params:
                 raise GraphValidationError(
-                    "bound_cache was built for different DHT params"
+                    "bound_cache was built for a different measure configuration"
                 )
         if self.max_block_bytes is not None and self.max_block_bytes < 1:
             raise GraphValidationError(
                 f"max_block_bytes must be >= 1, got {self.max_block_bytes}"
             )
         self._left_array = np.asarray(self.left, dtype=np.int64)
+
+    @property
+    def cache_params(self):
+        """The identity walk/bound caches for this context are keyed by.
+
+        The measure's cache key when a measure is set, the DHT params
+        otherwise — one cache universe per ``(graph, measure)``.
+        """
+        return self.measure.cache_key() if self.measure is not None else self.params
 
     @property
     def left_array(self) -> np.ndarray:

@@ -65,6 +65,12 @@ class ForwardIDJ:
     The short rounds are cheap (``l``-step walks) and, because ``lambda^i``
     decays geometrically, already rank most pairs correctly — so the
     expensive final round usually runs on a small survivor set.
+
+    The ``X_l^+`` table is served through the context's
+    :class:`~repro.bounds_cache.BoundPlanCache` instead of being rebuilt
+    per join instance, so ``PJ`` restart refills and sibling query edges
+    sharing a spec-wide cache reuse one build (hits land in
+    ``engine.stats.bound_cache_hits``).
     """
 
     name = "F-IDJ"
@@ -80,7 +86,9 @@ class ForwardIDJ:
         if k == 0:
             return []
         ctx = self._ctx
-        xbound = XBound(ctx.params, ctx.d)
+        xbound = ctx.bound_cache.x_bound(
+            ctx.d, lambda: XBound(ctx.params, ctx.d)
+        )
         self.pruning_trace = []
         active = list(ctx.left)
         level = 1

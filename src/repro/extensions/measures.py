@@ -6,40 +6,88 @@ Personalized PageRank [and] SimRank".  The IDJ framework [19] the paper
 builds on supports any measure expressible as a truncated decayed
 series
 
-``score(u, v) = alpha * sum_{i} lambda^i M_i(u, v) + beta``
+``score(u, v) = sum_{i} w_i M_i(u, v) + floor``
 
-where ``M_i`` is some per-step walk statistic.  :class:`SeriesMeasure`
-captures that contract; :class:`TruncatedPPR` instantiates it for
-Personalized PageRank (``M_i = S_i``, the *unrestricted* visit
-probability), and :class:`DHTMeasure` adapts the core DHT
-implementation so the generic joins in
-:mod:`repro.extensions.series_join` run over either measure unchanged.
+where ``M_i`` is some per-step walk statistic and ``w_i`` a
+non-negative weight.  :class:`SeriesMeasure` captures that contract —
+per-target *and* batched-block backward kernels plus the tail algebra
+iterative deepening needs — and three families instantiate it:
+
+* :class:`TruncatedPPR` — Personalized PageRank (``M_i = S_i``, the
+  *unrestricted* visit probability; plain propagation).
+* :class:`DHTMeasure` — the core DHT implementation adapted to the
+  contract (``M_i = P_i``, first-hit probability; absorbing
+  propagation), so generic joins can mix measures and the core
+  algorithms double as its oracles.
+* :class:`repro.extensions.simrank.SimRankMeasure` — SimRank, whose
+  pairwise-recursive fixed point has no single-propagation kernel; it
+  serves blocks from memoised (and resumable) matrix iterates instead.
+
+**Admissibility contract** (what the generic iterative-deepening join
+:class:`repro.extensions.series_join.SeriesIDJ` relies on — see
+``docs/ALGORITHMS.md`` for the worked derivations):
+
+1. ``backward_scores(engine, q, l)`` returns the ``l``-step truncation
+   ``h_l(., q)``, and ``h_l(p, q) <= h_d(p, q)`` for ``l <= d``
+   (non-negative statistics and weights), so truncations are valid
+   *lower* bounds.
+2. ``tail_bound(l) >= sum_{i > l} w_i sup_u,v M_i(u, v)``, so
+   ``h_d(p, q) <= h_l(p, q) + tail_bound(l)`` is a valid *upper* bound.
+3. ``floor`` is the score of a pair whose every statistic is zero — the
+   bottom of the range, used to seed per-target maxima and to filter
+   uninformative lower bounds.
+4. Optionally, ``tail_weight(i) = w_i * sup M_i`` per step enables the
+   data-dependent reach-mass tail :class:`SeriesYBound` (the Theorem 1
+   analogue), which is tighter than the closed form whenever the left
+   set's ``i``-step reach mass at ``q`` is below 1.
+
+Batched-block equivalence: ``backward_scores_block`` must agree with
+per-target ``backward_scores`` at every node ``u != target`` (reflexive
+entries may differ by the kernel's return-walk convention; every join
+excludes ``p == q``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Protocol
+from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
 from repro.core.dht import DHTParams
+from repro.graph.validation import GraphValidationError
 from repro.walks.engine import WalkEngine
+from repro.walks.kernels import BlockKernel, DHTBlockKernel, PPRBlockKernel
+from repro.walks.state import WalkState
 
 
 class SeriesMeasure(Protocol):
     """A truncated decayed-series proximity measure.
 
     Implementations provide a *backward* kernel — one propagation from a
-    target yields the measure to all sources — plus the algebra needed
-    for iterative-deepening bounds.
+    target yields the measure to all sources — in both per-target
+    (oracle) and batched-block (production) forms, plus the algebra
+    needed for iterative-deepening bounds.  See the module docstring for
+    the admissibility conditions each piece must satisfy.
     """
 
     name: str
     d: int
 
     def backward_scores(self, engine: WalkEngine, target: int, steps: int) -> np.ndarray:
-        """``steps``-truncated scores from every node to ``target``."""
+        """``steps``-truncated scores from every node to ``target``.
+
+        The per-target reference path — the equivalence oracle every
+        batched/cached path is tested against.
+        """
+        ...
+
+    def backward_scores_block(
+        self, engine: WalkEngine, targets: Sequence[int], steps: int
+    ) -> np.ndarray:
+        """Batched backward scores: an ``(n, B)`` array, column ``j``
+        agreeing with ``backward_scores(engine, targets[j], steps)`` at
+        every node ``u != targets[j]``."""
         ...
 
     def tail_bound(self, level: int) -> float:
@@ -51,6 +99,20 @@ class SeriesMeasure(Protocol):
         """Score of a pair with zero walk statistics (the range floor)."""
         ...
 
+    def cache_key(self) -> object:
+        """Hashable value identity for walk/bound caches.
+
+        Two measures share cached artifacts iff their keys compare
+        equal; distinct measure families must never collide (DHT and
+        PPR kernels are distinct frozen dataclasses by construction).
+        """
+        ...
+
+    def kernel(self) -> Optional[BlockKernel]:
+        """The resumable block kernel, or ``None`` for matrix-backed
+        measures (no :class:`~repro.walks.state.WalkState` support)."""
+        ...
+
 
 class TruncatedPPR:
     """Personalized PageRank, truncated at ``d`` steps.
@@ -59,7 +121,8 @@ class TruncatedPPR:
     ``S_i(u, v)`` is the probability that a ``c``-continuing walker from
     ``u`` is at ``v`` after ``i`` steps (Jeh & Widom [20]).  Unlike DHT
     the walker may revisit ``v``; the backward kernel is therefore the
-    plain (non-absorbing) propagation.
+    plain (non-absorbing) propagation —
+    :class:`~repro.walks.kernels.PPRBlockKernel` in block form.
 
     Parameters
     ----------
@@ -86,11 +149,21 @@ class TruncatedPPR:
         """A never-visited pair scores 0."""
         return 0.0
 
+    def kernel(self) -> PPRBlockKernel:
+        """The plain-propagation block kernel (weights ``(1-c) c^i``)."""
+        return PPRBlockKernel(self.damping)
+
+    def cache_key(self) -> PPRBlockKernel:
+        """Walk/bound caches are keyed by the kernel itself."""
+        return self.kernel()
+
     def backward_scores(self, engine: WalkEngine, target: int, steps: int) -> np.ndarray:
         """Truncated PPR of every node to ``target`` in one propagation.
 
         ``(1-c) * sum_{i=1..steps} c^i S_i(u, target)`` plus the ``i=0``
-        self-visit term for ``u == target`` itself.
+        self-visit term for ``u == target`` itself.  Per-target oracle;
+        reports its steps to ``engine.stats`` in the same column-step
+        currency as the batched paths.
         """
         back = np.zeros(engine.num_nodes, dtype=np.float64)
         back[target] = 1.0
@@ -101,7 +174,18 @@ class TruncatedPPR:
         for i in range(1, steps + 1):
             back = transition.dot(back)
             scores += factor * self.damping ** i * back
+        engine.stats.propagation_steps += steps
+        engine.stats.sparse_products += steps
         return scores
+
+    def backward_scores_block(
+        self, engine: WalkEngine, targets: Sequence[int], steps: int
+    ) -> np.ndarray:
+        """Batched truncated PPR: one sparse-dense product per step for
+        the whole target block, equal to the per-target oracle at every
+        node (PPR has no reflexive artefact — the self-visit term is
+        part of the score)."""
+        return WalkState(engine, self.kernel(), targets).advance_to(steps).scores_matrix()
 
     def tail_bound(self, level: int) -> float:
         """``(1-c) sum_{i > level} c^i = c^{level+1}`` (since S_i <= 1)."""
@@ -109,10 +193,22 @@ class TruncatedPPR:
             raise ValueError(f"level must be >= 0, got {level}")
         return self.damping ** (level + 1)
 
+    def tail_weight(self, i: int) -> float:
+        """``w_i * sup S_i = (1-c) c^i`` — enables :class:`SeriesYBound`."""
+        if i < 1:
+            raise ValueError(f"i must be >= 1, got {i}")
+        return (1.0 - self.damping) * self.damping ** i
+
 
 class DHTMeasure:
     """Adapter exposing the core DHT implementation as a
-    :class:`SeriesMeasure`, so generic joins can mix measures."""
+    :class:`SeriesMeasure`, so generic joins can mix measures.
+
+    The core 2-way algorithms (``B-BJ``/``B-IDJ``) remain the tuned DHT
+    path; this adapter exists so the measure-generic machinery has DHT
+    as a third instantiation (and an oracle-rich one: its batched block
+    rides the exact kernel the core algorithms use).
+    """
 
     def __init__(self, params: DHTParams = None, epsilon: float = 1e-6) -> None:
         self.params = params if params is not None else DHTParams.dht_lambda(0.2)
@@ -124,11 +220,31 @@ class DHTMeasure:
         """``beta`` — the score of a pair that never hits."""
         return self.params.beta
 
+    def kernel(self) -> DHTBlockKernel:
+        """The first-hit (absorbing) block kernel of Eq. 5."""
+        return DHTBlockKernel.from_params(self.params)
+
+    def cache_key(self) -> DHTBlockKernel:
+        """Walk/bound caches are keyed by the kernel itself."""
+        return self.kernel()
+
     def backward_scores(self, engine: WalkEngine, target: int, steps: int) -> np.ndarray:
-        """Truncated DHT via the first-hit backward kernel."""
+        """Truncated DHT via the first-hit backward kernel (oracle)."""
         series = engine.backward_first_hit_series(target, steps)
         scores = self.params.scores_from_matrix(series)
         scores[target] = 0.0
+        return scores
+
+    def backward_scores_block(
+        self, engine: WalkEngine, targets: Sequence[int], steps: int
+    ) -> np.ndarray:
+        """Batched truncated DHT with the reflexive convention of the
+        per-target oracle (``h(v, v) = 0``, replacing the block kernel's
+        return-walk artefact)."""
+        state = WalkState(engine, self.kernel(), targets).advance_to(steps)
+        scores = state.scores_matrix()
+        idx = np.asarray(targets, dtype=np.int64)
+        scores[idx, np.arange(idx.shape[0])] = 0.0
         return scores
 
     def tail_bound(self, level: int) -> float:
@@ -140,6 +256,95 @@ class DHTMeasure:
             * self.params.decay ** (level + 1)
             / (1.0 - self.params.decay)
         )
+
+    def tail_weight(self, i: int) -> float:
+        """``w_i * sup P_i = alpha * lambda^i`` — the Theorem 1 weights."""
+        if i < 1:
+            raise ValueError(f"i must be >= 1, got {i}")
+        return self.params.alpha * self.params.decay ** i
+
+
+class SeriesYBound:
+    """Reach-mass tail bound for any series measure (Theorem 1 analogue).
+
+    For steps ``i > l`` the pair statistic is bounded by the left set's
+    aggregated reach mass: ``M_i(p, q) <= min(sum_{p' in P} S_i(p', q), 1)``
+    (for DHT because first hits are a sub-event of visits, Lemma 3; for
+    PPR because ``S_i(p, q)`` is one summand).  One unrestricted
+    ``d``-step propagation from all of ``P`` therefore yields
+
+    ``Y_l^+(P, q) = sum_{i=l+1}^{d} tail_weight(i) * min(reach_i(q), 1)``
+
+    for every ``q`` and every ``l`` via suffix sums — ``O(1)`` per
+    query, always at most the closed-form :meth:`SeriesMeasure.tail_bound`
+    restricted to steps ``<= d``.  Built through a
+    :class:`~repro.bounds_cache.BoundPlanCache` keyed by ``(P, d)``, so
+    query edges sharing a left set build it once; every build increments
+    ``engine.stats.bound_builds`` like the core :class:`~repro.core.bounds.YBound`.
+    """
+
+    name = "Series-Y"
+
+    def __init__(
+        self,
+        engine: WalkEngine,
+        measure: SeriesMeasure,
+        sources: Sequence[int],
+        d: int,
+    ) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self._d = d
+        engine.stats.bound_builds += 1
+        reach = engine.reach_mass_series(sources, d)  # (d, n)
+        capped = np.minimum(reach, 1.0)
+        weights = np.array(
+            [measure.tail_weight(i) for i in range(1, d + 1)], dtype=np.float64
+        )[:, None]
+        contributions = capped * weights
+        n = reach.shape[1]
+        suffix = np.zeros((d + 1, n), dtype=np.float64)
+        suffix[:d] = np.cumsum(contributions[::-1], axis=0)[::-1]
+        self._suffix = suffix
+
+    @property
+    def d(self) -> int:
+        """Walk length the bound was built for."""
+        return self._d
+
+    def tail(self, l: int, q: int) -> float:
+        """``Y_l^+(P, q)`` for graph node ``q``."""
+        if not (0 <= l <= self._d):
+            raise ValueError(f"l must be in [0, {self._d}], got {l}")
+        return float(self._suffix[l, q])
+
+
+_DHT_NAMES = frozenset({"dht", "dht-lambda", "dht-e"})
+
+
+def measure_by_name(name: str, **options) -> Optional[object]:
+    """Resolve a measure name to a :class:`SeriesMeasure` instance.
+
+    The DHT family (``"dht"``, ``"dht-lambda"``, ``"dht-e"``) resolves
+    to ``None`` — callers keep the tuned core DHT path and its
+    :class:`~repro.core.dht.DHTParams` configuration.  ``"ppr"`` builds
+    a :class:`TruncatedPPR` (options: ``damping``, ``epsilon``) and
+    ``"simrank"`` a :class:`repro.extensions.simrank.SimRankMeasure`
+    (options: ``decay``, ``iterations``, ``weighted``).
+    """
+    key = name.lower()
+    if key in _DHT_NAMES:
+        return None
+    if key == "ppr":
+        return TruncatedPPR(**options)
+    if key == "simrank":
+        from repro.extensions.simrank import SimRankMeasure
+
+        return SimRankMeasure(**options)
+    raise GraphValidationError(
+        f"unknown measure {name!r}; choose from "
+        f"{sorted(_DHT_NAMES | {'ppr', 'simrank'})}"
+    )
 
 
 def exact_ppr_to_target(graph, damping: float, target: int) -> np.ndarray:

@@ -1,30 +1,117 @@
-"""Generic 2-way and n-way joins over any :class:`SeriesMeasure`.
+"""Measure-generic 2-way and n-way joins over any :class:`SeriesMeasure`.
 
-This realises the paper's future-work plan (Section VIII): the backward
-basic join and the iterative-deepening join are measure-agnostic — they
-only need backward scoring and a tail bound — and the n-way join simply
-feeds the generic 2-way join's sorted output into the same PBRJ rank
-join used by ``AP``/``PJ``.
+This realises the paper's future-work plan (Section VIII) on the full
+production stack: the backward basic join and the iterative-deepening
+join are measure-agnostic — they need batched backward scoring and a
+tail bound — and the n-way strategies (``AP``-style materialisation,
+``PJ``-style top-``m`` prefixes with restart refills) feed the same
+PBRJ rank join the DHT algorithms use.
+
+The machinery mirrors the DHT path layer by layer:
+
+* **Batched blocks** — every walking round goes through
+  :meth:`SeriesMeasure.backward_scores_block` (one sparse-dense product
+  per step for kernel measures, memoised matrix gathers for SimRank);
+  ``block_size=1`` selects the per-target oracle path, kept as the
+  equivalence baseline exactly like ``B-BJ``'s.
+* **Resumable states** — :class:`SeriesIDJ` keeps one
+  :class:`~repro.walks.state.WalkState` block across doubling levels
+  (extend, don't restart), with the measure's
+  :class:`~repro.walks.kernels.BlockKernel` supplying the per-step
+  algebra; :meth:`SeriesIDJ.top_k_reference` keeps the seed
+  restart-per-level implementation as the oracle.
+* **Shared caches** — contexts carry the same
+  :class:`~repro.walks.cache.WalkCache` /
+  :class:`~repro.bounds_cache.BoundPlanCache` pair as DHT joins, keyed
+  by the *measure* (``measure.cache_key()``), so an
+  :class:`~repro.core.nway.spec.NWayJoinSpec` built with a measure
+  shares walks and reach-mass tail bounds across all its query edges —
+  and a PPR spec can never touch a DHT spec's entries.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.nway.aggregates import MIN, Aggregate
 from repro.core.nway.candidates import CandidateAnswer
+from repro.core.nway.partial_join import PartialJoinStats
 from repro.core.nway.query_graph import QueryGraph
-from repro.core.two_way.base import ScoredPair, sort_pairs, top_k_pairs
-from repro.extensions.measures import SeriesMeasure
+from repro.core.nway.spec import NWayJoinSpec
+from repro.core.two_way.backward import DEFAULT_BLOCK_SIZE
+from repro.core.two_way.base import (
+    BoundedTopK,
+    ScoredPair,
+    TwoWayContext,
+    sort_pairs,
+    top_k_pairs,
+)
+from repro.extensions.measures import SeriesMeasure, SeriesYBound
 from repro.graph.digraph import Graph
-from repro.graph.validation import GraphValidationError, validate_node_set
-from repro.rankjoin.inputs import MaterializedInput
+from repro.graph.validation import GraphValidationError
+from repro.rankjoin.inputs import LazyInput, MaterializedInput
 from repro.rankjoin.pbrj import PBRJ
+from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
+from repro.walks.state import WalkState
+
+from repro.bounds_cache import BoundPlanCache
+
+
+def make_series_context(
+    graph: Graph,
+    measure: SeriesMeasure,
+    left: Sequence[int],
+    right: Sequence[int],
+    engine: Optional[WalkEngine] = None,
+    walk_cache: Optional[WalkCache] = None,
+    bound_cache: Optional[BoundPlanCache] = None,
+) -> TwoWayContext:
+    """A validated measure context (``d = measure.d``, caches keyed by
+    the measure's :meth:`cache_key`)."""
+    return TwoWayContext(
+        graph=graph,
+        params=None,
+        left=list(left),
+        right=list(right),
+        d=measure.d,
+        engine=engine,
+        walk_cache=walk_cache,
+        bound_cache=bound_cache,
+        measure=measure,
+    )
+
+
+class _ClosedFormTail:
+    """Data-independent tail: the measure's ``X``-style closed form."""
+
+    name = "Series-X"
+
+    def __init__(self, measure: SeriesMeasure) -> None:
+        self._measure = measure
+
+    def tail(self, l: int, q: int = -1) -> float:
+        return self._measure.tail_bound(l)
 
 
 class SeriesBackwardJoin:
-    """``B-BJ`` generalised: one backward pass per right node."""
+    """``B-BJ`` generalised: batched backward blocks, one pass per target.
+
+    Parameters
+    ----------
+    graph / measure / left / right:
+        The join inputs; ``measure`` is any :class:`SeriesMeasure`.
+    engine / walk_cache / bound_cache:
+        Optional shared infrastructure (the caches must be keyed by this
+        measure's :meth:`cache_key`; pass a spec's caches to share
+        across query edges).
+    block_size:
+        Targets per propagated block.  ``1`` selects the per-target
+        oracle path (:meth:`SeriesMeasure.backward_scores`), kept as the
+        equivalence baseline and benchmark reference.
+    """
 
     name = "Series-B-BJ"
 
@@ -35,21 +122,79 @@ class SeriesBackwardJoin:
         left: Sequence[int],
         right: Sequence[int],
         engine: Optional[WalkEngine] = None,
+        walk_cache: Optional[WalkCache] = None,
+        bound_cache: Optional[BoundPlanCache] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
-        self._graph = graph
-        self._measure = measure
-        self._left = validate_node_set(graph.num_nodes, left, "left node set")
-        self._right = validate_node_set(graph.num_nodes, right, "right node set")
-        self._engine = engine if engine is not None else WalkEngine(graph)
+        self._bind(
+            make_series_context(
+                graph, measure, left, right,
+                engine=engine, walk_cache=walk_cache, bound_cache=bound_cache,
+            ),
+            block_size,
+        )
+
+    @classmethod
+    def from_context(
+        cls, context: TwoWayContext, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> "SeriesBackwardJoin":
+        """Build from an existing measure context (e.g. a spec's edge)."""
+        join = cls.__new__(cls)
+        join._bind(context, block_size)
+        return join
+
+    def _bind(self, context: TwoWayContext, block_size: int) -> None:
+        if context.measure is None:
+            raise GraphValidationError(
+                "series joins need a measure context (TwoWayContext.measure)"
+            )
+        if block_size < 1:
+            raise GraphValidationError(
+                f"block_size must be >= 1, got {block_size}"
+            )
+        self._ctx = context
+        self._measure: SeriesMeasure = context.measure
+        self._block_size = block_size
+        self.pruning_trace: List[dict] = []
+
+    @property
+    def context(self) -> TwoWayContext:
+        """The validated join inputs."""
+        return self._ctx
 
     def all_pairs(self) -> List[ScoredPair]:
         """Score every candidate pair (unsorted)."""
-        pairs: List[ScoredPair] = []
-        for q in self._right:
-            scores = self._measure.backward_scores(self._engine, q, self._measure.d)
-            pairs.extend(
-                ScoredPair(p, q, float(scores[p])) for p in self._left if p != q
-            )
+        ctx, measure = self._ctx, self._measure
+        if self._block_size == 1:
+            pairs: List[ScoredPair] = []
+            for q in ctx.right:
+                scores = measure.backward_scores(ctx.engine, q, measure.d)
+                pairs.extend(ctx.pairs_for_target(scores, q))
+            return pairs
+        cache = ctx.walk_cache
+        pairs = []
+        pending: List[int] = []
+
+        def flush() -> None:
+            block = measure.backward_scores_block(ctx.engine, pending, measure.d)
+            for j, q in enumerate(pending):
+                vector = block[:, j]
+                if cache is not None:
+                    cache.put_scores(q, measure.d, vector)
+                pairs.extend(ctx.pairs_for_target(vector, q))
+            pending.clear()
+
+        for q in ctx.right:
+            if cache is not None:
+                cached = cache.peek(q, measure.d)
+                if cached is not None:
+                    pairs.extend(ctx.pairs_for_target(cached, q))
+                    continue
+            pending.append(q)
+            if len(pending) == self._block_size:
+                flush()
+        if pending:
+            flush()
         return pairs
 
     def top_k(self, k: int) -> List[ScoredPair]:
@@ -60,11 +205,25 @@ class SeriesBackwardJoin:
 
 
 class SeriesIDJ(SeriesBackwardJoin):
-    """``B-IDJ`` generalised: doubling walks + tail-bound pruning.
+    """``B-IDJ`` generalised: resumable doubling walks + tail pruning.
 
-    Uses the measure's closed-form tail (the ``X``-style bound; a
-    measure-specific ``Y`` analogue would need per-measure reach-mass
-    reasoning and is left to the measure implementation).
+    One :class:`~repro.walks.state.WalkState` block (built from the
+    measure's kernel) carries all active targets across doubling levels,
+    so level ``2l`` extends level ``l`` instead of restarting — the same
+    ``~2d -> d`` column-step saving the DHT ``B-IDJ`` gets.  With a walk
+    cache on the context, walked levels are donated (``put_scores``) and
+    pruned targets hand over their resumable column (``adopt``), so
+    restart refills and sibling edges resume instead of re-walking.
+
+    The upper bound is the measure's reach-mass
+    :class:`~repro.extensions.measures.SeriesYBound` when the measure
+    defines ``tail_weight`` (served through the context's bound cache,
+    keyed by ``(P, d)`` — shared by every edge with the same left set),
+    falling back to the closed-form ``tail_bound`` otherwise (SimRank).
+
+    Matrix-backed measures (``kernel() is None``) have nothing to
+    resume in walk space; their levels are batched gathers from the
+    measure's memoised iterates, which the measure itself resumes.
     """
 
     name = "Series-IDJ"
@@ -74,17 +233,155 @@ class SeriesIDJ(SeriesBackwardJoin):
             raise GraphValidationError(f"k must be >= 0, got {k}")
         if k == 0:
             return []
-        measure = self._measure
-        active = list(self._right)
+        ctx, measure = self._ctx, self._measure
+        engine, cache = ctx.engine, ctx.walk_cache
+        kern = measure.kernel()
+        bound = self._make_bound()
+        left = ctx.left_array
+        floor_value = measure.floor
+        self.pruning_trace = []
+
+        active: List[int] = list(ctx.right)
+        state: Optional[WalkState] = None
+        state_cols: Dict[int, int] = {}
+        walked: Dict[int, int] = {}  # q -> column of `state` this round
+
+        def walk_level(level: int, consume) -> None:
+            """Feed every active target's ``level`` score vector to
+            ``consume(q, vector)``.
+
+            Resolution order per target: cached vector (no walk), the
+            retained resumable block (extended in batch), the cache's
+            single-column resume path (targets cache-served at an
+            earlier level that missed at this one), then a fresh batched
+            block for whatever remains.
+            """
+            nonlocal state, state_cols
+            walked.clear()
+            resident: List[int] = []
+            pending: List[int] = []
+            for q in active:
+                if cache is not None:
+                    cached = cache.peek(q, level)
+                    if cached is not None:
+                        consume(q, cached)
+                        continue
+                if state is not None and q in state_cols:
+                    resident.append(q)
+                else:
+                    pending.append(q)
+            if kern is None:
+                if pending:
+                    block = measure.backward_scores_block(engine, pending, level)
+                    for j, q in enumerate(pending):
+                        vector = block[:, j]
+                        if cache is not None:
+                            cache.put_scores(q, level, vector)
+                        consume(q, vector)
+                return
+            if state is None and pending:
+                # Cold start: the first walking round claims residency.
+                state = WalkState(engine, kern, pending)
+                state_cols = {q: j for j, q in enumerate(pending)}
+                resident = pending
+            elif pending:
+                # The peek above already recorded these misses.
+                for q in pending:
+                    consume(q, cache.scores(q, level, count_stats=False))
+            if resident:
+                state.advance_to(level)
+                for q in resident:
+                    column = state_cols[q]
+                    walked[q] = column
+                    vector = state.score_column(column)
+                    if cache is not None:
+                        cache.put_scores(q, level, vector)
+                    consume(q, vector)
+
+        level = 1
+        while level < measure.d:
+            width = len(active)
+            targets_arr = np.asarray(active, dtype=np.int64)
+            tails = np.array([bound.tail(level, q) for q in active])
+            column_of = {q: j for j, q in enumerate(active)}
+            left_scores = np.empty((left.size, width), dtype=np.float64)
+
+            def gather(q, vector, column_of=column_of, left_scores=left_scores):
+                left_scores[:, column_of[q]] = vector[left]
+
+            walk_level(level, gather)
+            valid = left[:, None] != targets_arr[None, :]
+            floor_acc = BoundedTopK(k)
+            # Only informative lower bounds (a nonzero statistic within
+            # `level` steps) enter the floor, mirroring Algorithm 2.
+            floor_acc.push(left_scores[valid & (left_scores > floor_value)])
+            best = np.where(valid, left_scores, -np.inf).max(axis=0)
+            best = np.maximum(best, floor_value)
+            t_k = floor_acc.kth_largest()
+            keep = best + tails >= t_k
+            surviving = [q for q, flag in zip(active, keep) if flag]
+            self.pruning_trace.append(
+                {
+                    "level": level,
+                    "active_before": len(active),
+                    "pruned": len(active) - len(surviving),
+                    "threshold": t_k,
+                }
+            )
+            if cache is not None and state is not None:
+                for q, flag in zip(active, keep):
+                    if not flag and q in walked:
+                        cache.adopt(state.extract_column(walked[q]))
+            if state is not None:
+                kept_targets = [q for q in surviving if q in state_cols]
+                kept_cols = [state_cols[q] for q in kept_targets]
+                if kept_cols:
+                    if len(kept_cols) != state.width:
+                        state = state.select(kept_cols)
+                    state_cols = {q: j for j, q in enumerate(kept_targets)}
+                else:
+                    state, state_cols = None, {}
+            active = surviving
+            level *= 2
+
+        pairs: List[ScoredPair] = []
+
+        def emit(q, vector):
+            pairs.extend(ctx.pairs_for_target(vector, q))
+
+        walk_level(measure.d, emit)
+        return top_k_pairs(pairs, k)
+
+    def _make_bound(self):
+        """Reach-mass tail through the bound cache, or the closed form."""
+        ctx, measure = self._ctx, self._measure
+        if getattr(measure, "tail_weight", None) is not None:
+            return ctx.bound_cache.y_bound(
+                ctx.left,
+                measure.d,
+                lambda: SeriesYBound(ctx.engine, measure, ctx.left, measure.d),
+            )
+        return _ClosedFormTail(measure)
+
+    def top_k_reference(self, k: int) -> List[ScoredPair]:
+        """The seed implementation: per-target walks, restarted per level,
+        closed-form tails.  Kept verbatim as the equivalence oracle;
+        bypasses the walk and bound caches."""
+        if k < 0:
+            raise GraphValidationError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return []
+        ctx, measure = self._ctx, self._measure
+        active = list(ctx.right)
         level = 1
         while level < measure.d:
             lower_bounds: List[float] = []
             upper = {}
             for q in active:
-                scores = measure.backward_scores(self._engine, q, level)
+                scores = measure.backward_scores(ctx.engine, q, level)
                 tail = measure.tail_bound(level)
                 best = measure.floor
-                for p in self._left:
+                for p in ctx.left:
                     if p == q:
                         continue
                     score = float(scores[p])
@@ -99,10 +396,8 @@ class SeriesIDJ(SeriesBackwardJoin):
             level *= 2
         pairs: List[ScoredPair] = []
         for q in active:
-            scores = measure.backward_scores(self._engine, q, measure.d)
-            pairs.extend(
-                ScoredPair(p, q, float(scores[p])) for p in self._left if p != q
-            )
+            scores = measure.backward_scores(ctx.engine, q, measure.d)
+            pairs.extend(ctx.pairs_for_target(scores, q))
         return top_k_pairs(pairs, k)
 
 
@@ -114,6 +409,8 @@ def series_two_way_join(
     measure: SeriesMeasure,
     algorithm: str = "idj",
     engine: Optional[WalkEngine] = None,
+    walk_cache: Optional[WalkCache] = None,
+    bound_cache: Optional[BoundPlanCache] = None,
 ) -> List[ScoredPair]:
     """Top-``k`` 2-way join under an arbitrary series measure.
 
@@ -121,14 +418,135 @@ def series_two_way_join(
     """
     name = algorithm.lower()
     if name == "basic":
-        join = SeriesBackwardJoin(graph, measure, left, right, engine=engine)
+        cls = SeriesBackwardJoin
     elif name == "idj":
-        join = SeriesIDJ(graph, measure, left, right, engine=engine)
+        cls = SeriesIDJ
     else:
         raise GraphValidationError(
             f"unknown series algorithm {algorithm!r}; use 'basic' or 'idj'"
         )
+    join = cls(
+        graph, measure, left, right,
+        engine=engine, walk_cache=walk_cache, bound_cache=bound_cache,
+    )
     return join.top_k(k)
+
+
+class SeriesAllPairsJoin:
+    """``AP`` generalised: full per-edge materialisation + PBRJ rank join.
+
+    Every edge materialises through the batched
+    :class:`SeriesBackwardJoin`; with the spec's shared walk cache,
+    edges whose right sets overlap score repeated targets from memory.
+    """
+
+    name = "Series-AP"
+
+    def __init__(self, spec: NWayJoinSpec, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if spec.measure is None:
+            raise GraphValidationError(
+                "series n-way joins need a measure spec (NWayJoinSpec.measure)"
+            )
+        self._spec = spec
+        self._block_size = block_size
+        self.stats = None
+
+    def run(self) -> List[CandidateAnswer]:
+        """Materialise every edge's full join, then rank-join."""
+        spec = self._spec
+        if spec.k == 0:
+            return []
+        inputs = []
+        for e in range(spec.query_graph.num_edges):
+            join = SeriesBackwardJoin.from_context(
+                spec.edge_context(e), block_size=self._block_size
+            )
+            inputs.append(
+                MaterializedInput(
+                    sort_pairs(join.all_pairs()), name=spec.query_graph.edge_name(e)
+                )
+            )
+        driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+        answers = driver.run()
+        self.stats = driver.stats
+        return answers
+
+
+class _SeriesRestartProvider:
+    """``getNextNodePair`` the ``PJ`` way: rerun top-``(m+1)`` from scratch.
+
+    "From scratch" algorithmically — the reruns share the context's
+    walk/bound caches, so they re-score cached walks instead of
+    re-propagating, exactly like the DHT ``PJ``.
+    """
+
+    def __init__(self, context: TwoWayContext, m: int) -> None:
+        self._context = context
+        self._m = m
+        self.restarts = 0
+
+    def initial(self) -> List[ScoredPair]:
+        return SeriesIDJ.from_context(self._context).top_k(self._m)
+
+    def next_pair(self) -> Optional[ScoredPair]:
+        if self._m >= self._context.num_pairs:
+            return None
+        self._m += 1
+        self.restarts += 1
+        result = SeriesIDJ.from_context(self._context).top_k(self._m)
+        if len(result) < self._m:
+            return None
+        return result[-1]
+
+
+class SeriesPartialJoin:
+    """``PJ`` generalised: top-``m`` prefixes + PBRJ + restart refills.
+
+    Per-edge prefixes come from :class:`SeriesIDJ` (the pruned
+    algorithm), refills rerun it at ``m+1`` against the spec's shared
+    caches — the measure-generic twin of
+    :class:`repro.core.nway.partial_join.PartialJoin`.
+    """
+
+    name = "Series-PJ"
+
+    def __init__(self, spec: NWayJoinSpec, m: int = 50) -> None:
+        if spec.measure is None:
+            raise GraphValidationError(
+                "series n-way joins need a measure spec (NWayJoinSpec.measure)"
+            )
+        if m < 0:
+            raise GraphValidationError(f"m must be >= 0, got {m}")
+        self._spec = spec
+        self._m = m
+        self.stats = PartialJoinStats()
+
+    def run(self) -> List[CandidateAnswer]:
+        """Execute the partial join and return the top-``k`` answers."""
+        spec = self._spec
+        if spec.k == 0:
+            return []
+        inputs = []
+        providers = []
+        for e in range(spec.query_graph.num_edges):
+            provider = _SeriesRestartProvider(spec.edge_context(e), self._m)
+            providers.append(provider)
+            inputs.append(
+                LazyInput(
+                    provider.initial(),
+                    refill=provider.next_pair,
+                    name=spec.query_graph.edge_name(e),
+                )
+            )
+        driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+        answers = driver.run()
+        self.stats.next_pair_calls = sum(p.restarts for p in providers)
+        self.stats.rank_join_pulls = driver.stats.pulls
+        self.stats.pulls_per_edge = driver.stats.pulls_per_edge
+        return answers
+
+
+_SERIES_NWAY = ("ap", "pj", "pj-i")
 
 
 def series_multi_way_join(
@@ -139,26 +557,38 @@ def series_multi_way_join(
     measure: SeriesMeasure,
     aggregate: Aggregate = MIN,
     engine: Optional[WalkEngine] = None,
+    algorithm: str = "ap",
+    m: int = 50,
+    share_walks: bool = True,
+    share_bounds: bool = True,
 ) -> List[CandidateAnswer]:
     """Top-``k`` n-way join under an arbitrary series measure.
 
-    Materialises each query edge's full 2-way join (the ``AP``
-    strategy — measure-generic prefixes with incremental refills are
-    future work squared) and rank-joins with PBRJ.
+    ``algorithm`` selects the strategy: ``"ap"`` (default) materialises
+    each edge's full 2-way join; ``"pj"`` runs top-``m`` prefixes with
+    restart refills.  ``"pj-i"`` is accepted as an alias of ``"pj"`` —
+    incremental F-structure refinement is a DHT-specific optimisation
+    with no measure-generic counterpart yet.  All edges share one walk
+    cache and one bound cache (disable with ``share_walks`` /
+    ``share_bounds``), both keyed by the measure.
     """
-    if len(node_sets) != query_graph.num_vertices:
-        raise GraphValidationError(
-            f"{len(node_sets)} node sets for {query_graph.num_vertices} vertices"
-        )
-    engine = engine if engine is not None else WalkEngine(graph)
-    inputs = []
-    for e, (i, j) in enumerate(query_graph.edges):
-        join = SeriesBackwardJoin(
-            graph, measure, node_sets[i], node_sets[j], engine=engine
-        )
-        inputs.append(
-            MaterializedInput(
-                sort_pairs(join.all_pairs()), name=query_graph.edge_name(e)
-            )
-        )
-    return PBRJ(query_graph, aggregate, inputs, k).run()
+    spec = NWayJoinSpec(
+        graph=graph,
+        query_graph=query_graph,
+        node_sets=[list(nodes) for nodes in node_sets],
+        k=k,
+        aggregate=aggregate,
+        engine=engine,
+        measure=measure,
+        share_walks=share_walks,
+        share_bounds=share_bounds,
+    )
+    name = algorithm.lower()
+    if name == "ap":
+        return SeriesAllPairsJoin(spec).run()
+    if name in ("pj", "pj-i"):
+        return SeriesPartialJoin(spec, m=m).run()
+    raise GraphValidationError(
+        f"unknown series n-way algorithm {algorithm!r}; "
+        f"choose from {_SERIES_NWAY}"
+    )

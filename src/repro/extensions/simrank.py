@@ -1,4 +1,4 @@
-"""SimRank (Jeh & Widom [21]) and a SimRank 2-way join.
+"""SimRank (Jeh & Widom [21]): solver, measure, and joins.
 
 The second measure named in the paper's future-work list.  SimRank is
 pairwise-recursive —
@@ -8,14 +8,24 @@ pairwise-recursive —
 with ``s(a, a) = 1`` — so unlike DHT/PPR there is no single-propagation
 backward kernel; the standard computation iterates the full similarity
 matrix to a fixed point.  We provide the dense iterative solver (small
-graphs; the scale is quadratic by nature) plus a join wrapper with the
-same result shape as the DHT joins, which is exactly what "extending
-the n-way join to SimRank" needs as its scoring oracle.
+graphs; the scale is quadratic by nature), a join wrapper with the same
+result shape as the DHT joins (the scoring oracle), and
+:class:`SimRankMeasure` — the
+:class:`repro.extensions.measures.SeriesMeasure` instantiation that
+plugs SimRank into the measure-generic 2-way and n-way joins of
+:mod:`repro.extensions.series_join`.
+
+The measure's "resumable walk state" is the matrix iterate itself: the
+fixed-point sweep is a recurrence in the iteration count, so the
+measure memoises iterates per level and *extends* the deepest one
+instead of restarting — the matrix analogue of
+:class:`~repro.walks.state.WalkState`, shared by every query edge that
+scores through the same measure instance.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +37,32 @@ from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError, validate_node_set
 from repro.rankjoin.inputs import MaterializedInput
 from repro.rankjoin.pbrj import PBRJ
+from repro.walks.engine import WalkEngine
+
+
+def _in_weight_matrix(graph: Graph, weighted: bool) -> np.ndarray:
+    """Column-normalised in-neighbour weights: ``W[x, a] = w_xa / sum_in(a)``.
+
+    Shared by :func:`simrank_matrix` and :class:`SimRankMeasure` so the
+    measure's iterates are bit-identical to the oracle solver's.
+    """
+    n = graph.num_nodes
+    w = np.zeros((n, n), dtype=np.float64)
+    for a in graph.nodes():
+        incoming = graph.in_neighbors(a)
+        if not incoming:
+            continue
+        total = sum(incoming.values()) if weighted else float(len(incoming))
+        for x, weight in incoming.items():
+            w[x, a] = (weight if weighted else 1.0) / total
+    return w
+
+
+def _simrank_sweep(similarity: np.ndarray, w: np.ndarray, decay: float) -> np.ndarray:
+    """One fixed-point sweep ``S <- decay * W^T S W`` with diagonal reset."""
+    similarity = decay * (w.T @ similarity @ w)
+    np.fill_diagonal(similarity, 1.0)
+    return similarity
 
 
 def simrank_matrix(
@@ -41,7 +77,10 @@ def simrank_matrix(
     the column-normalised (in-edge) weight matrix,
     ``S <- decay * W^T S W`` with the diagonal reset to 1 each sweep.
     ``iterations`` sweeps give an additive error of at most
-    ``decay^(iterations+1)`` (the standard geometric argument).
+    ``decay^(iterations+1)`` (the standard geometric argument), and the
+    iterates converge to the fixed point *from below* (monotone
+    non-decreasing in the sweep count), which is what makes truncated
+    iterates admissible lower bounds for iterative deepening.
     """
     if not (0.0 < decay < 1.0):
         raise GraphValidationError(f"decay must be in (0, 1), got {decay}")
@@ -50,20 +89,94 @@ def simrank_matrix(
     n = graph.num_nodes
     if n == 0:
         return np.zeros((0, 0))
-    # Column-normalised in-neighbour weights: W[x, a] = w_xa / sum_in(a).
-    w = np.zeros((n, n), dtype=np.float64)
-    for a in graph.nodes():
-        incoming = graph.in_neighbors(a)
-        if not incoming:
-            continue
-        total = sum(incoming.values()) if weighted else float(len(incoming))
-        for x, weight in incoming.items():
-            w[x, a] = (weight if weighted else 1.0) / total
+    w = _in_weight_matrix(graph, weighted)
     similarity = np.eye(n)
     for _ in range(iterations):
-        similarity = decay * (w.T @ similarity @ w)
-        np.fill_diagonal(similarity, 1.0)
+        similarity = _simrank_sweep(similarity, w, decay)
     return similarity
+
+
+class SimRankMeasure:
+    """SimRank as a :class:`repro.extensions.measures.SeriesMeasure`.
+
+    Level ``l`` of the generic joins maps to ``l`` fixed-point sweeps:
+    the iterates grow monotonically towards the fixed point, so an
+    ``l``-sweep score is an admissible lower bound and
+    ``decay^(l+1)`` bounds everything the remaining sweeps can add
+    (``tail_bound``).  ``d = iterations`` plays the truncation-depth
+    role.
+
+    There is no propagation kernel (``kernel()`` is ``None``): backward
+    "walks" are column gathers from memoised matrix iterates, computed
+    once per level per graph and *resumed* from the deepest cached
+    iterate (the recurrence is deterministic, so resumed and fresh
+    iterates are bit-identical).  Dense ``O(n^2)`` memory — small
+    graphs only, like every SimRank computation here.
+    """
+
+    def __init__(
+        self, decay: float = 0.8, iterations: int = 10, weighted: bool = True
+    ) -> None:
+        if not (0.0 < decay < 1.0):
+            raise GraphValidationError(f"decay must be in (0, 1), got {decay}")
+        if iterations < 1:
+            raise GraphValidationError(f"iterations must be >= 1, got {iterations}")
+        self.decay = decay
+        self.d = iterations
+        self.weighted = weighted
+        self.name = f"SimRank(C={decay})"
+        self._graph: Optional[Graph] = None
+        self._w: Optional[np.ndarray] = None
+        self._iterates: Dict[int, np.ndarray] = {}
+
+    @property
+    def floor(self) -> float:
+        """A structurally unrelated pair scores 0."""
+        return 0.0
+
+    def kernel(self) -> None:
+        """No single-propagation kernel — SimRank is matrix-backed."""
+        return None
+
+    def cache_key(self) -> Tuple[str, float, int, bool]:
+        """Value identity for walk/bound caches (score-vector layer only)."""
+        return ("simrank", self.decay, self.d, self.weighted)
+
+    def _iterate_to(self, graph: Graph, steps: int) -> np.ndarray:
+        """The ``steps``-sweep iterate, resumed from the deepest cached one."""
+        if self._graph is not graph:
+            # Bound to a new graph: drop the old graph's iterates.
+            self._graph = graph
+            self._w = _in_weight_matrix(graph, self.weighted)
+            self._iterates = {0: np.eye(graph.num_nodes)}
+        level = max(l for l in self._iterates if l <= steps)
+        similarity = self._iterates[level]
+        while level < steps:
+            similarity = _simrank_sweep(similarity, self._w, self.decay)
+            level += 1
+        if level not in self._iterates:
+            self._iterates[level] = similarity
+        return similarity
+
+    def backward_scores(self, engine: WalkEngine, target: int, steps: int) -> np.ndarray:
+        """``steps``-sweep SimRank of every node to ``target`` (a matrix
+        column; reflexive entry is 1 by definition and excluded by all
+        joins)."""
+        return self._iterate_to(engine.graph, steps)[:, target].copy()
+
+    def backward_scores_block(
+        self, engine: WalkEngine, targets: Sequence[int], steps: int
+    ) -> np.ndarray:
+        """Batched column gather from the (memoised) ``steps``-sweep iterate."""
+        idx = np.asarray(targets, dtype=np.int64)
+        return self._iterate_to(engine.graph, steps)[:, idx].copy()
+
+    def tail_bound(self, level: int) -> float:
+        """``decay^(level+1)``: each further sweep adds terms weighted by
+        one more factor of ``decay``, and scores are bounded by 1."""
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        return self.decay ** (level + 1)
 
 
 class SimRankJoin:

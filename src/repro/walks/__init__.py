@@ -8,12 +8,22 @@ equivalence oracle), batched block propagation
 
 from repro.walks.cache import WalkCache, WalkCacheStats
 from repro.walks.engine import WalkEngine, WalkEngineStats
+from repro.walks.kernels import (
+    BlockKernel,
+    DHTBlockKernel,
+    PPRBlockKernel,
+    as_block_kernel,
+)
 from repro.walks.state import WalkState
 
 __all__ = [
+    "BlockKernel",
+    "DHTBlockKernel",
+    "PPRBlockKernel",
     "WalkCache",
     "WalkCacheStats",
     "WalkEngine",
     "WalkEngineStats",
     "WalkState",
+    "as_block_kernel",
 ]

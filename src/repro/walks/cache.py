@@ -1,12 +1,22 @@
 """Cross-join walk cache: share backward walks between query edges.
 
-A backward walk from target ``q`` depends only on the graph and the DHT
-coefficients — not on the join's left set — so its full-graph score
-vector ``h_level(., q)`` can be reused by *any* join on the same
-``(graph, params)`` pair.  N-way joins whose node sets overlap (star and
-clique query specs, ``PJ``'s restart refills, ``PJ-i``'s F-structure
+A backward walk from target ``q`` depends only on the graph and the
+measure's coefficients — not on the join's left set — so its full-graph
+score vector ``h_level(., q)`` can be reused by *any* join on the same
+``(graph, measure)`` pair.  N-way joins whose node sets overlap (star
+and clique query specs, ``PJ``'s restart refills, ``PJ-i``'s F-structure
 refinements) repeatedly ask for the same ``(target, level)`` walks; the
 cache answers those from memory instead of re-propagating.
+
+The cache is measure-generic: build it with
+:class:`~repro.core.dht.DHTParams` (the DHT first-hit kernel), any
+:class:`~repro.walks.kernels.BlockKernel` (e.g. PPR), or — for
+matrix-backed measures with no propagation kernel, like SimRank — any
+hashable cache identity, in which case only the score-vector layer is
+usable (``peek`` / ``put_scores``; the resumable layer needs a kernel).
+One cache per ``(graph, measure)``: entries of different measures never
+share a cache, which :class:`repro.core.two_way.base.TwoWayContext`
+validates and :meth:`WalkCache.adopt` enforces for donated states.
 
 Two layers per target, bounded by an LRU over targets:
 
@@ -37,6 +47,7 @@ import numpy as np
 
 from repro.graph.validation import GraphValidationError
 from repro.walks.engine import WalkEngine
+from repro.walks.kernels import as_block_kernel
 from repro.walks.state import WalkState
 
 if TYPE_CHECKING:  # avoid a runtime cycle: core.dht imports repro.walks
@@ -73,22 +84,24 @@ class _TargetEntry:
 
 
 class WalkCache:
-    """Per-``(graph, params)`` cache of backward-walk score vectors.
+    """Per-``(graph, measure)`` cache of backward-walk score vectors.
 
     Parameters
     ----------
     engine:
         The graph's walk engine; all cached walks run on it.
     params:
-        DHT coefficients.  Cached vectors are only valid for this exact
-        configuration — build one cache per ``(graph, params)`` pair.
+        The measure identity: DHT coefficients, a block kernel, or any
+        hashable value object.  Cached vectors are only valid for this
+        exact configuration — build one cache per ``(graph, measure)``
+        pair.
     max_targets:
         LRU bound on the number of distinct targets retained (each
         target costs a few length-``n`` float64 vectors).
     """
 
     def __init__(
-        self, engine: WalkEngine, params: DHTParams, max_targets: int = 256
+        self, engine: WalkEngine, params: "DHTParams | object", max_targets: int = 256
     ) -> None:
         if max_targets < 1:
             raise GraphValidationError(
@@ -106,8 +119,8 @@ class WalkCache:
         return self._engine
 
     @property
-    def params(self) -> DHTParams:
-        """The DHT coefficients cached scores were folded with."""
+    def params(self) -> "DHTParams | object":
+        """The measure identity cached scores were folded with."""
         return self._params
 
     @property
@@ -209,6 +222,15 @@ class WalkCache:
         if state.width != 1:
             raise GraphValidationError(
                 f"adopt() takes a single-column state, got width {state.width}"
+            )
+        try:
+            expected = as_block_kernel(self._params)
+        except GraphValidationError:
+            expected = None  # matrix-backed measure: no resumable layer
+        if expected is None or state.kernel != expected:
+            raise GraphValidationError(
+                "adopted state was walked under a different measure kernel "
+                "than this cache"
             )
         target = int(state.targets[0])
         entry = self._ensure_entry(target)

@@ -1,17 +1,25 @@
 """Resumable backward-walk state (the heart of batched iterative deepening).
 
-Eq. 5 is a Markov recurrence: the first-hit probabilities
-``P_{l+1}, ..., P_{2l}`` depend on the past only through the walker mass
-after step ``l``.  :class:`WalkState` snapshots exactly that — the
-``(n, B)`` mass block for ``B`` targets plus the accumulated truncated
-score prefix ``sum_{i <= l} lambda^i P_i`` — so a level-``2l`` walk
-*extends* a level-``l`` walk instead of restarting it.  ``B-IDJ``'s
-doubling schedule ``1, 2, 4, ..., d`` therefore costs ``d`` column-steps
-per surviving target instead of the ``1 + 2 + 4 + ... + d (~2d)`` the
+Backward propagation is a Markov recurrence: the step-``l+1 .. 2l``
+masses depend on the past only through the walker mass after step
+``l``.  :class:`WalkState` snapshots exactly that — the ``(n, B)`` mass
+block for ``B`` targets plus the accumulated score prefix
+``sum_{i <= l} w_i M_i`` — so a level-``2l`` walk *extends* a
+level-``l`` walk instead of restarting it.  ``B-IDJ``'s doubling
+schedule ``1, 2, 4, ..., d`` therefore costs ``d`` column-steps per
+surviving target instead of the ``1 + 2 + 4 + ... + d (~2d)`` the
 restart-per-level seed implementation paid.
 
-The score prefix is accumulated step-by-step (``acc += lambda^i P_i``),
-so extending a state and walking fresh to the same depth produce
+The state is measure-generic: everything specific to one measure — the
+step weights ``w_i``, whether the propagation is absorbing (DHT's
+first-hit Eq. 5) or plain (PPR's every-visit ``S_i``), and how the
+prefix folds into scores — lives in a
+:class:`~repro.walks.kernels.BlockKernel`.  Passing a
+:class:`~repro.core.dht.DHTParams` selects the DHT kernel, preserving
+the original behaviour of every DHT call site.
+
+The score prefix is accumulated step-by-step (``acc += w_i M_i``), so
+extending a state and walking fresh to the same depth produce
 bit-identical scores — every batched/cached/resumable path in the repo
 shares this accumulation order.
 
@@ -32,40 +40,44 @@ import numpy as np
 
 from repro.graph.validation import GraphValidationError
 from repro.walks.engine import WalkEngine
+from repro.walks.kernels import BlockKernel, as_block_kernel
 
 if TYPE_CHECKING:  # avoid a runtime cycle: core.dht imports repro.walks
     from repro.core.dht import DHTParams
 
 
 class WalkState:
-    """Resumable backward first-hit walk over a block of targets.
+    """Resumable backward walk over a block of targets.
 
     Parameters
     ----------
     engine:
         Walk engine of the graph being walked.
     params:
-        DHT coefficients used to fold hit probabilities into scores.
+        A :class:`~repro.core.dht.DHTParams` (selects the first-hit DHT
+        kernel) or any :class:`~repro.walks.kernels.BlockKernel`
+        (e.g. the PPR kernel), used to fold step masses into scores.
     targets:
         Target node ids, one per block column.  Duplicates are allowed
         (columns propagate independently).
 
     Notes
     -----
-    A fresh state sits at ``level = 0``; :meth:`advance_to` runs Eq. 5
-    steps for all columns at once (one CSR sparse-dense product per
-    step).  :meth:`scores_matrix` / :meth:`score_column` convert the
-    accumulated prefix into truncated DHT scores ``h_level(u, target)``.
-    Memory: two ``(n, B)`` float64 blocks.
+    A fresh state sits at ``level = 0``; :meth:`advance_to` runs
+    propagation steps for all columns at once (one CSR sparse-dense
+    product per step).  :meth:`scores_matrix` / :meth:`score_column`
+    convert the accumulated prefix into truncated scores
+    ``h_level(u, target)``.  Memory: two ``(n, B)`` float64 blocks.
     """
 
-    __slots__ = ("_engine", "_params", "_targets", "_level", "_mass", "_acc")
+    __slots__ = ("_engine", "_params", "_kernel", "_targets", "_level", "_mass", "_acc")
 
     def __init__(
-        self, engine: WalkEngine, params: DHTParams, targets: Sequence[int]
+        self, engine: WalkEngine, params: "DHTParams | BlockKernel", targets: Sequence[int]
     ) -> None:
         self._engine = engine
         self._params = params
+        self._kernel = as_block_kernel(params)
         self._targets = engine._check_target_block(targets)
         self._level = 0
         # The level-0 blocks (one-hot mass, zero prefix) are implicit;
@@ -86,6 +98,7 @@ class WalkState:
         state = cls.__new__(cls)
         state._engine = engine
         state._params = params
+        state._kernel = as_block_kernel(params)
         state._targets = targets
         state._level = level
         state._mass = mass
@@ -102,9 +115,14 @@ class WalkState:
         return self._engine
 
     @property
-    def params(self) -> DHTParams:
-        """DHT coefficients the score prefix is accumulated with."""
+    def params(self) -> "DHTParams | BlockKernel":
+        """The params/kernel object the state was created with."""
         return self._params
+
+    @property
+    def kernel(self) -> BlockKernel:
+        """The block kernel the score prefix is accumulated with."""
+        return self._kernel
 
     @property
     def targets(self) -> np.ndarray:
@@ -128,9 +146,9 @@ class WalkState:
     def advance_to(self, level: int) -> "WalkState":
         """Extend the walk to ``level`` steps (no-op if already there).
 
-        A state can only move forward — Eq. 5 cannot be run backwards —
-        so ``level`` below the current one raises.  Returns ``self`` for
-        chaining.
+        A state can only move forward — the propagation recurrence
+        cannot be run backwards — so ``level`` below the current one
+        raises.  Returns ``self`` for chaining.
         """
         if level < self._level:
             raise GraphValidationError(
@@ -141,12 +159,15 @@ class WalkState:
             if i == 1:
                 # One-hot start: step 1 is a column gather of T.
                 self._mass = self._engine.backward_onehot_step(self._targets)
-                self._acc = self._params.decay * self._mass
+                self._acc = self._kernel.weight(1) * self._mass
             else:
+                # Absorbing kernels (DHT first hits) zero each column's
+                # target entry before propagating; plain kernels (PPR)
+                # skip the zeroing, which `first=True` selects.
                 self._mass = self._engine.backward_block_step(
-                    self._mass, self._targets, first=False
+                    self._mass, self._targets, first=not self._kernel.absorbing
                 )
-                self._acc += self._params.decay ** i * self._mass
+                self._acc += self._kernel.weight(i) * self._mass
             self._level = i
         if self._mass is not None:
             self._engine.stats.record_block_bytes(
@@ -167,26 +188,22 @@ class WalkState:
     def scores_matrix(self) -> np.ndarray:
         """Truncated scores ``h_level(u, target_j)`` as an ``(n, B)`` array.
 
-        Freshly allocated; reflexive entries (``u == target``) carry the
-        return-walk artefact and are ignored by all callers, matching
-        :meth:`repro.walks.engine.WalkEngine.backward_first_hit_series`.
-        At level 0 every score is the empty-sum floor ``beta``.
+        Freshly allocated; the kernel owns the reflexive-entry
+        convention (DHT leaves the return-walk artefact, which callers
+        ignore; PPR folds in the self-visit term).  At level 0 every
+        score is the kernel's empty-sum floor.
         """
         if self._acc is None:
-            return np.full(
-                (self._engine.num_nodes, self.width),
-                self._params.beta,
-                dtype=np.float64,
-            )
-        return self._params.alpha * self._acc + self._params.beta
+            return self._kernel.empty_scores(self._engine.num_nodes, self._targets)
+        return self._kernel.finalize(self._acc, self._targets)
 
     def score_column(self, j: int) -> np.ndarray:
         """Scores of column ``j`` as a fresh length-``n`` vector."""
         if self._acc is None:
-            return np.full(
-                self._engine.num_nodes, self._params.beta, dtype=np.float64
-            )
-        return self._params.alpha * self._acc[:, j] + self._params.beta
+            return self._kernel.empty_scores(
+                self._engine.num_nodes, self._targets[j : j + 1]
+            )[:, 0]
+        return self._kernel.finalize_column(self._acc[:, j], int(self._targets[j]))
 
     # ------------------------------------------------------------------
     # Restructuring
@@ -230,9 +247,9 @@ class WalkState:
                 raise GraphValidationError(
                     "concat needs states bound to the same engine"
                 )
-            if state._params != first._params:
+            if state._kernel != first._kernel:
                 raise GraphValidationError(
-                    "concat needs states with identical DHT params"
+                    "concat needs states with identical measure kernels"
                 )
             if state._level != first._level:
                 raise GraphValidationError(

@@ -335,3 +335,48 @@ class TestWalkStateConcat:
     def test_concat_rejects_empty(self):
         with pytest.raises(GraphValidationError):
             WalkState.concat([])
+
+
+class TestXBoundCaching:
+    """F-IDJ / B-IDJ-X pull their X tables from the BoundPlanCache."""
+
+    def test_x_bound_built_once(self, cache, engine, params):
+        from repro.core.bounds import XBound
+
+        first = cache.x_bound(4, lambda: XBound(params, 4))
+        second = cache.x_bound(4, lambda: XBound(params, 4))
+        assert first is second
+        assert cache.stats.x_builds == 1 and cache.stats.x_hits == 1
+        assert engine.stats.bound_cache_hits == 1  # hits land in engine stats
+
+    def test_forward_idj_reuses_x_across_runs(self, random_graph):
+        from repro.core.two_way.forward import ForwardIDJ
+
+        context = make_context(random_graph, [0, 1, 2], [5, 6, 7], d=4)
+        ForwardIDJ(context).top_k(2)
+        assert context.bound_cache.stats.x_builds == 1
+        ForwardIDJ(context).top_k(3)
+        assert context.bound_cache.stats.x_builds == 1
+        assert context.bound_cache.stats.x_hits >= 1
+        assert context.engine.stats.bound_cache_hits >= 1
+
+    def test_bidjx_shares_x_with_forward_idj(self, random_graph):
+        from repro.core.two_way.forward import ForwardIDJ
+
+        context = make_context(random_graph, [0, 1, 2], [5, 6, 7], d=4)
+        BackwardIDJX(context).top_k(2)
+        builds = context.bound_cache.stats.x_builds
+        ForwardIDJ(context).top_k(2)
+        assert context.bound_cache.stats.x_builds == builds == 1
+
+    def test_forward_idj_results_unchanged_by_caching(self, random_graph, params):
+        from repro.core.two_way.forward import ForwardIDJ
+
+        shared = make_context(random_graph, [0, 1, 2, 3], [8, 9, 10], d=4,
+                              params=params)
+        once = ForwardIDJ(shared).top_k(4)
+        again = ForwardIDJ(shared).top_k(4)
+        assert [(p.left, p.right) for p in once] == [
+            (p.left, p.right) for p in again
+        ]
+        assert np.allclose([p.score for p in once], [p.score for p in again])

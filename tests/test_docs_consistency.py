@@ -1,5 +1,6 @@
-"""Docs/consistency guard: the README quickstart must run, and the
-committed benchmark report must match the benchmark script's schema.
+"""Docs/consistency guard: the README quickstart and the
+``docs/ALGORITHMS.md`` handbook snippets must run, and the committed
+benchmark report must match the benchmark script's schema.
 
 Run by the tier-1 suite and by the CI ``docs`` job, so a PR cannot land
 a front-door snippet that no longer executes or change the
@@ -20,13 +21,14 @@ from repro.graph.io import write_edge_list, write_node_sets
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 README = REPO_ROOT / "README.md"
+ALGORITHMS = REPO_ROOT / "docs" / "ALGORITHMS.md"
 BENCH_REPORT = REPO_ROOT / "BENCH_walks.json"
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
-def _python_snippets():
-    return _FENCE.findall(README.read_text(encoding="utf-8"))
+def _python_snippets(path=README):
+    return _FENCE.findall(path.read_text(encoding="utf-8"))
 
 
 def test_readme_exists_with_python_quickstart():
@@ -40,6 +42,26 @@ def test_readme_python_snippets_execute():
     namespace = {}
     for snippet in _python_snippets():
         exec(compile(snippet, str(README), "exec"), namespace)
+
+
+def test_algorithms_handbook_snippets_execute():
+    """The handbook's ``python`` fences run, in order, in one namespace
+    — its worked examples are executable documentation."""
+    snippets = _python_snippets(ALGORITHMS)
+    assert snippets, "docs/ALGORITHMS.md must contain ```python fences"
+    namespace = {}
+    for snippet in snippets:
+        exec(compile(snippet, str(ALGORITHMS), "exec"), namespace)
+
+
+def test_algorithms_handbook_covers_every_paper_name():
+    """The handbook is the name-to-module map; every paper algorithm
+    name and every measure entry point must appear."""
+    text = ALGORITHMS.read_text(encoding="utf-8")
+    for name in ("F-BJ", "F-IDJ", "B-BJ", "B-IDJ", "AP", "PJ", "PJ-i", "NL",
+                 "SeriesMeasure", "backward_scores", "tail_bound", "floor",
+                 "TruncatedPPR", "SimRank"):
+        assert name in text, f"docs/ALGORITHMS.md must document {name}"
 
 
 def test_readme_cli_commands_exist():
@@ -92,6 +114,7 @@ def test_bench_report_not_stale():
     assert payload.get("benchmark") == "walk_engine"
     assert payload.get("workloads"), "report must carry walk rows"
     assert payload.get("bound_cache"), "schema 2 reports carry bound rows"
+    assert payload.get("measures"), "schema 3 reports carry measure rows"
 
 
 def test_bench_report_claims_hold():
@@ -105,8 +128,22 @@ def test_bench_report_claims_hold():
         assert row["pj_bound_builds_unshared"] >= 2 * row["pj_bound_builds_shared"]
         assert row["bidj_ceiling_honored"]
         assert row["bidj_peak_block_bytes"] <= row["bidj_max_block_bytes"]
+    measures_seen = set()
+    for row in payload["measures"]:
+        measures_seen.add(row["measure"])
+        assert row["nway_answers_match"]
+        assert row["nway_walk_cache_hits"] > 0
+        if row["measure"] == "ppr":
+            assert row["bbj_outputs_match"] and row["idj_outputs_match"]
+            assert row["bbj_speedup"] > 1.0
+            assert row["idj_resumable_steps"] < row["idj_seed_steps"]
+            assert row["nway_bound_cache_hits"] > 0
+    assert {"ppr", "simrank"} <= measures_seen
 
 
-@pytest.mark.parametrize("path", ["README.md", "docs/BENCHMARKS.md", "ROADMAP.md"])
+@pytest.mark.parametrize(
+    "path",
+    ["README.md", "docs/BENCHMARKS.md", "docs/ALGORITHMS.md", "ROADMAP.md"],
+)
 def test_doc_files_present(path):
     assert (REPO_ROOT / path).is_file(), f"{path} is part of the front door"

@@ -1,27 +1,46 @@
-"""Unit tests for the future-work extensions: PPR and SimRank joins."""
+"""Unit tests for the measure layer: PPR and SimRank joins.
+
+The per-target ``backward_scores`` paths are the equivalence oracles:
+every batched, resumable, or cached measure path must reproduce them.
+"""
 
 import numpy as np
 import pytest
 
+from repro.core.dht import DHTParams
 from repro.core.nway.aggregates import MIN, SUM
 from repro.core.nway.query_graph import QueryGraph
-from repro.core.two_way.base import sort_pairs
-from repro.extensions.measures import DHTMeasure, TruncatedPPR, exact_ppr_to_target
+from repro.core.nway.spec import NWayJoinSpec
+from repro.core.two_way.base import TwoWayContext, sort_pairs
+from repro.extensions.measures import (
+    DHTMeasure,
+    SeriesYBound,
+    TruncatedPPR,
+    exact_ppr_to_target,
+    measure_by_name,
+)
 from repro.extensions.series_join import (
+    SeriesAllPairsJoin,
     SeriesBackwardJoin,
     SeriesIDJ,
+    SeriesPartialJoin,
+    make_series_context,
     series_multi_way_join,
     series_two_way_join,
 )
 from repro.extensions.simrank import (
     SimRankJoin,
+    SimRankMeasure,
     simrank_matrix,
     simrank_multi_way_join,
 )
 from repro.graph.builders import complete_graph, path_graph
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError
+from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
+from repro.walks.kernels import DHTBlockKernel, PPRBlockKernel, as_block_kernel
+from repro.walks.state import WalkState
 
 
 class TestTruncatedPPR:
@@ -195,4 +214,337 @@ class TestSimRank:
         with pytest.raises(GraphValidationError):
             simrank_multi_way_join(
                 random_graph, QueryGraph.chain(2), [[0]], k=1
+            )
+
+
+def _pairs_key(pairs):
+    return [(p.left, p.right) for p in pairs]
+
+
+def _answers_key(answers):
+    return [(a.nodes, round(a.score, 10)) for a in answers]
+
+
+MEASURE_FACTORIES = [
+    lambda: TruncatedPPR(damping=0.7, epsilon=1e-6),
+    lambda: DHTMeasure(),
+    lambda: SimRankMeasure(iterations=8),
+]
+
+
+class TestMeasureBlocks:
+    """Batched block kernels against the per-target oracles."""
+
+    @pytest.mark.parametrize("measure_factory", MEASURE_FACTORIES)
+    def test_block_matches_per_target(self, random_graph, measure_factory):
+        measure = measure_factory()
+        engine = WalkEngine(random_graph)
+        targets = [3, 11, 25, 30]
+        for level in (1, 3, measure.d):
+            block = measure.backward_scores_block(engine, targets, level)
+            for j, q in enumerate(targets):
+                oracle = measure.backward_scores(engine, q, level)
+                mask = np.arange(random_graph.num_nodes) != q
+                assert np.allclose(block[mask, j], oracle[mask], atol=1e-12)
+
+    def test_ppr_state_extension_matches_fresh(self, random_graph):
+        measure = TruncatedPPR(damping=0.6)
+        engine = WalkEngine(random_graph)
+        kernel = measure.kernel()
+        resumed = WalkState(engine, kernel, [2, 7]).advance_to(3).advance_to(9)
+        fresh = WalkState(engine, kernel, [2, 7]).advance_to(9)
+        assert np.allclose(
+            resumed.scores_matrix(), fresh.scores_matrix(), atol=1e-15
+        )
+
+    def test_ppr_kernel_is_not_absorbing(self, random_graph):
+        # A PPR walker may revisit the target: for the path 0-1, mass
+        # oscillates and every even step contributes to the self score.
+        g = path_graph(2)
+        measure = TruncatedPPR(damping=0.5, epsilon=1e-8)
+        scores = measure.backward_scores_block(WalkEngine(g), [0], measure.d)[:, 0]
+        exact = exact_ppr_to_target(g, 0.5, 0)
+        assert np.allclose(scores, exact, atol=1e-2)
+        assert scores[0] > 0.5  # revisits keep most mass at home
+
+    def test_simrank_measure_matches_matrix_solver(self, random_graph):
+        measure = SimRankMeasure(decay=0.7, iterations=6)
+        engine = WalkEngine(random_graph)
+        expected = simrank_matrix(random_graph, decay=0.7, iterations=6)
+        block = measure.backward_scores_block(engine, [1, 5, 9], 6)
+        assert np.allclose(block, expected[:, [1, 5, 9]], atol=1e-15)
+
+    def test_simrank_iterates_resume_bit_identical(self, random_graph):
+        resumed = SimRankMeasure(decay=0.8, iterations=10)
+        engine = WalkEngine(random_graph)
+        resumed.backward_scores(engine, 0, 2)  # caches the level-2 iterate
+        column = resumed.backward_scores(engine, 0, 7)
+        fresh = simrank_matrix(random_graph, decay=0.8, iterations=7)[:, 0]
+        assert np.array_equal(column, fresh)
+
+
+class TestSeriesIDJResumable:
+    """The resumable, cached SeriesIDJ against the restart oracle."""
+
+    @pytest.mark.parametrize("measure_factory", MEASURE_FACTORIES)
+    def test_idj_matches_reference(self, random_graph, measure_factory):
+        left, right = list(range(8)), list(range(20, 32))
+        got = SeriesIDJ(random_graph, measure_factory(), left, right).top_k(10)
+        ref = SeriesIDJ(
+            random_graph, measure_factory(), left, right
+        ).top_k_reference(10)
+        assert _pairs_key(got) == _pairs_key(ref)
+        assert np.allclose(
+            [p.score for p in got], [p.score for p in ref], atol=1e-10
+        )
+
+    @pytest.mark.parametrize("measure_factory", MEASURE_FACTORIES)
+    def test_idj_with_walk_cache_matches(self, random_graph, measure_factory):
+        measure = measure_factory()
+        engine = WalkEngine(random_graph)
+        cache = WalkCache(engine, measure.cache_key())
+        left, right = list(range(6)), list(range(18, 30))
+        first = SeriesIDJ(
+            random_graph, measure, left, right, engine=engine, walk_cache=cache
+        ).top_k(6)
+        rerun = SeriesIDJ(
+            random_graph, measure, left, right, engine=engine, walk_cache=cache
+        ).top_k(6)
+        oracle = SeriesBackwardJoin(
+            random_graph, measure, left, right, block_size=1
+        ).top_k(6)
+        assert _pairs_key(first) == _pairs_key(rerun) == _pairs_key(oracle)
+        assert cache.stats.hits > 0  # the rerun was served from memory
+
+    def test_resumable_idj_walks_fewer_steps(self, random_graph):
+        measure = TruncatedPPR(damping=0.7, epsilon=1e-6)
+        left, right = list(range(8)), list(range(20, 36))
+        engine = WalkEngine(random_graph)
+        resumable = SeriesIDJ(random_graph, measure, left, right, engine=engine)
+        engine.stats.reset()
+        resumable.top_k(5)
+        resumed_steps = engine.stats.propagation_steps
+        engine.stats.reset()
+        SeriesIDJ(random_graph, measure, left, right, engine=engine).top_k_reference(5)
+        restart_steps = engine.stats.propagation_steps
+        assert resumed_steps < restart_steps
+
+    def test_series_y_bound_admissible_and_tighter(self, random_graph):
+        measure = TruncatedPPR(damping=0.7, epsilon=1e-6)
+        engine = WalkEngine(random_graph)
+        sources = list(range(8))
+        bound = SeriesYBound(engine, measure, sources, measure.d)
+        full = {
+            q: measure.backward_scores(engine, q, measure.d)
+            for q in range(20, 28)
+        }
+        for level in (1, 2, 4):
+            for q in range(20, 28):
+                partial = measure.backward_scores(engine, q, level)
+                tail = bound.tail(level, q)
+                assert tail <= measure.tail_bound(level) + 1e-12
+                for p in sources:
+                    if p == q:
+                        continue
+                    assert full[q][p] <= partial[p] + tail + 1e-12
+
+
+class TestMeasureNWay:
+    @pytest.mark.parametrize(
+        "measure_factory",
+        [
+            lambda: TruncatedPPR(damping=0.7, epsilon=1e-4),
+            lambda: SimRankMeasure(iterations=6),
+            lambda: DHTMeasure(),
+        ],
+    )
+    def test_ap_and_pj_match_per_target_oracle(self, random_graph, measure_factory):
+        sets = [[0, 1, 2, 3], [10, 11, 12, 13], [20, 21, 22, 23]]
+        query = QueryGraph.star(2, bidirectional=True)
+        ap = series_multi_way_join(
+            random_graph, query, sets, k=6, measure=measure_factory(),
+            algorithm="ap",
+        )
+        pj = series_multi_way_join(
+            random_graph, query, sets, k=6, measure=measure_factory(),
+            algorithm="pj", m=4,
+        )
+        # Oracle: AP with per-target scoring and no shared caches.
+        spec = NWayJoinSpec(
+            graph=random_graph, query_graph=query,
+            node_sets=[list(s) for s in sets], k=6,
+            measure=measure_factory(), share_walks=False, share_bounds=False,
+        )
+        oracle = SeriesAllPairsJoin(spec, block_size=1).run()
+        assert _answers_key(ap) == _answers_key(pj) == _answers_key(oracle)
+
+    def test_nway_shares_walks_and_bounds_across_edges(self, random_graph):
+        sets = [[0, 1, 2, 3], [10, 11, 12, 13], [20, 21, 22, 23]]
+        spec = NWayJoinSpec(
+            graph=random_graph,
+            query_graph=QueryGraph.star(2, bidirectional=True),
+            node_sets=[list(s) for s in sets],
+            k=6,
+            measure=TruncatedPPR(damping=0.7, epsilon=1e-4),
+        )
+        SeriesPartialJoin(spec, m=4).run()
+        assert spec.walk_cache.stats.hits > 0
+        assert spec.bound_cache.stats.y_hits > 0
+        assert spec.engine.stats.bound_cache_hits == spec.bound_cache.stats.y_hits
+
+    def test_measure_spec_rejects_dht_configuration(self, random_graph):
+        with pytest.raises(GraphValidationError, match="fixes its own"):
+            NWayJoinSpec(
+                graph=random_graph, query_graph=QueryGraph.chain(2),
+                node_sets=[[0], [1]], k=1,
+                measure=TruncatedPPR(), d=4,
+            )
+
+    def test_nway_rejects_unknown_algorithm(self, random_graph):
+        with pytest.raises(GraphValidationError, match="unknown series"):
+            series_multi_way_join(
+                random_graph, QueryGraph.chain(2), [[0], [1]], k=1,
+                measure=TruncatedPPR(), algorithm="nl",
+            )
+
+
+class TestMeasureCacheIsolation:
+    """DHT and PPR entries must never collide on one graph."""
+
+    def test_kernels_never_compare_equal(self):
+        ppr = PPRBlockKernel(0.2)
+        dht = as_block_kernel(DHTParams.dht_lambda(0.2))
+        assert ppr != dht
+        assert isinstance(dht, DHTBlockKernel)
+        # Same decay value, different family: still distinct identities.
+        assert PPRBlockKernel(0.2) == PPRBlockKernel(0.2)
+        assert hash(ppr) != hash(dht) or ppr != dht
+
+    def test_context_rejects_cross_measure_walk_cache(self, random_graph, params):
+        engine = WalkEngine(random_graph)
+        dht_cache = WalkCache(engine, params)
+        with pytest.raises(GraphValidationError, match="measure configuration"):
+            make_series_context(
+                random_graph, TruncatedPPR(), [0], [5],
+                engine=engine, walk_cache=dht_cache,
+            )
+
+    def test_context_rejects_cross_measure_bound_cache(self, random_graph, params):
+        from repro.bounds_cache import BoundPlanCache
+
+        engine = WalkEngine(random_graph)
+        ppr = TruncatedPPR()
+        ppr_bounds = BoundPlanCache(engine, ppr.cache_key())
+        with pytest.raises(GraphValidationError, match="measure configuration"):
+            TwoWayContext(
+                graph=random_graph, params=params, left=[0], right=[5],
+                d=4, engine=engine, bound_cache=ppr_bounds,
+            )
+
+    def test_cache_rejects_cross_measure_adoption(self, random_graph, params):
+        engine = WalkEngine(random_graph)
+        dht_cache = WalkCache(engine, params)
+        ppr_state = WalkState(engine, PPRBlockKernel(0.85), [3]).advance_to(2)
+        with pytest.raises(GraphValidationError, match="different measure kernel"):
+            dht_cache.adopt(ppr_state)
+
+    def test_simrank_cache_never_adopts_states(self, random_graph, params):
+        engine = WalkEngine(random_graph)
+        sim_cache = WalkCache(engine, SimRankMeasure().cache_key())
+        dht_state = WalkState(engine, params, [3]).advance_to(2)
+        with pytest.raises(GraphValidationError, match="different measure kernel"):
+            sim_cache.adopt(dht_state)
+
+    def test_same_graph_same_params_key_distinct_universes(self, random_graph):
+        """A DHT spec and a PPR spec on one graph share nothing, even
+        when their node sets and depths produce identical cache keys."""
+        sets = [[0, 1, 2], [10, 11, 12]]
+        query = QueryGraph.chain(2)
+        ppr = TruncatedPPR(damping=0.7, epsilon=1e-4)
+        engine = WalkEngine(random_graph)
+        dht_spec = NWayJoinSpec(
+            graph=random_graph, query_graph=query,
+            node_sets=[list(s) for s in sets], k=3, engine=engine,
+        )
+        ppr_spec = NWayJoinSpec(
+            graph=random_graph, query_graph=query,
+            node_sets=[list(s) for s in sets], k=3, engine=engine,
+            measure=ppr,
+        )
+        assert dht_spec.walk_cache.params != ppr_spec.walk_cache.params
+        assert dht_spec.bound_cache.params != ppr_spec.bound_cache.params
+        from repro.core.nway.partial_join import PartialJoin
+
+        PartialJoin(dht_spec, m=3).run()
+        SeriesPartialJoin(ppr_spec, m=3).run()
+        # Same targets were walked under both measures; the vectors must
+        # come from different universes (scores differ measure to measure).
+        shared_targets = [
+            q for q in sets[1]
+            if q in dht_spec.walk_cache and q in ppr_spec.walk_cache
+        ]
+        assert shared_targets
+        for q in shared_targets:
+            dht_vec = dht_spec.walk_cache.peek(q, dht_spec.d)
+            ppr_vec = ppr_spec.walk_cache.peek(q, ppr_spec.d)
+            if dht_vec is not None and ppr_vec is not None:
+                assert not np.allclose(dht_vec, ppr_vec)
+
+
+class TestMeasureRegistryAndApi:
+    def test_measure_by_name(self):
+        assert measure_by_name("dht") is None
+        assert measure_by_name("DHT-Lambda") is None
+        assert isinstance(measure_by_name("ppr"), TruncatedPPR)
+        assert isinstance(measure_by_name("simrank"), SimRankMeasure)
+        with pytest.raises(GraphValidationError, match="unknown measure"):
+            measure_by_name("katz")
+
+    def test_api_two_way_measure_routing(self, random_graph):
+        from repro.api import two_way_join
+
+        got = two_way_join(
+            random_graph, [0, 1, 2], [10, 11, 12], k=3, measure="ppr"
+        )
+        oracle = SeriesBackwardJoin(
+            random_graph, TruncatedPPR(), [0, 1, 2], [10, 11, 12], block_size=1
+        ).top_k(3)
+        assert _pairs_key(got) == _pairs_key(oracle)
+        with pytest.raises(GraphValidationError, match="DHT-only"):
+            two_way_join(
+                random_graph, [0], [5], k=1, measure="ppr", algorithm="f-bj"
+            )
+
+    def test_api_multi_way_measure_routing(self, random_graph):
+        from repro.api import multi_way_join
+
+        sets = [[0, 1, 2], [10, 11, 12], [20, 21, 22]]
+        query = QueryGraph.chain(3)
+        got = multi_way_join(random_graph, query, sets, k=3, measure="ppr")
+        spec = NWayJoinSpec(
+            graph=random_graph, query_graph=query,
+            node_sets=[list(s) for s in sets], k=3,
+            measure=TruncatedPPR(), share_walks=False, share_bounds=False,
+        )
+        oracle = SeriesAllPairsJoin(spec, block_size=1).run()
+        assert _answers_key(got) == _answers_key(oracle)
+        with pytest.raises(GraphValidationError, match="DHT-only"):
+            multi_way_join(
+                random_graph, query, sets, k=1, measure="ppr", algorithm="nl"
+            )
+
+    def test_api_rejects_dht_options_under_measure(self, random_graph):
+        from repro.api import multi_way_join, two_way_join
+
+        with pytest.raises(GraphValidationError, match="DHT-only options"):
+            two_way_join(random_graph, [0], [5], k=1, measure="ppr", epsilon=1e-8)
+        with pytest.raises(GraphValidationError, match="DHT-only options"):
+            two_way_join(
+                random_graph, [0], [5], k=1, measure="ppr",
+                max_block_bytes=1 << 20,
+            )
+        with pytest.raises(GraphValidationError, match="DHT-only options"):
+            multi_way_join(
+                random_graph, QueryGraph.chain(2), [[0], [5]], k=1,
+                measure="ppr", d=4,
             )

@@ -130,7 +130,7 @@ class TestContextBinding:
     def test_context_rejects_foreign_params(self, random_graph, params):
         engine = WalkEngine(random_graph)
         cache = WalkCache(engine, DHTParams.dht_e())
-        with pytest.raises(GraphValidationError, match="different DHT params"):
+        with pytest.raises(GraphValidationError, match="different measure configuration"):
             make_context(random_graph, [0], [1], params=params, d=4,
                          engine=engine, walk_cache=cache)
 
