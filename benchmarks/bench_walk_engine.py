@@ -18,6 +18,14 @@ degree-aware kernel):
 * bounded-memory ``B-IDJ``: a ``max_block_bytes`` ceiling on the
   resumable block — ``peak_block_bytes`` stays under the ceiling,
   outputs and pruning traces unchanged, extra restart steps recorded;
+  with a walk cache present the overflow survivors *spill* into it and
+  resume at the next level (schema 4): fewer steps than the re-walk
+  mode, resumes counted as ``extensions`` / ``steps_saved``;
+* bounded-memory ``Series-IDJ`` (schema 4, ``bounded_series`` section):
+  the same ceiling + spill machinery on the measure-generic path, one
+  row per (topology, size) for PPR and for the DHT measure adapter —
+  identical top-k and pruning traces vs. the unbounded run,
+  ``peak_block_bytes`` under the ceiling, nonzero spill resumes;
 * the measure-generic stack (schema 3): batched vs. per-target PPR
   scoring (``Series-B-BJ`` wall clock + identical-output check),
   resumable vs. restart ``Series-IDJ`` step counts, and per-measure
@@ -54,7 +62,7 @@ from repro.core.nway.query_graph import QueryGraph
 from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.backward import BackwardBasicJoin, BackwardIDJY
 from repro.core.two_way.base import make_context
-from repro.extensions.measures import TruncatedPPR
+from repro.extensions.measures import DHTMeasure, TruncatedPPR
 from repro.extensions.series_join import (
     SeriesAllPairsJoin,
     SeriesBackwardJoin,
@@ -95,6 +103,21 @@ REPORT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_walks.json",
 )
+
+
+def _outputs_and_trace_match(result, trace, ref_result, ref_trace) -> bool:
+    """The bounded-mode acceptance bar: identical top-k pairs (scores to
+    1e-12) *and* an identical pruning trace vs. the unbounded run."""
+    return (
+        [(p.left, p.right) for p in result]
+        == [(p.left, p.right) for p in ref_result]
+        and np.allclose(
+            [p.score for p in result],
+            [p.score for p in ref_result],
+            atol=1e-12,
+        )
+        and trace == ref_trace
+    )
 
 
 def _graph(topology: str, num_nodes: int):
@@ -236,22 +259,29 @@ def bench_bound_cache(topology: str, num_nodes: int) -> dict:
     full_steps = full_ctx.engine.stats.propagation_steps
     full_peak = full_ctx.engine.stats.peak_block_bytes
 
+    def matches_full(alg, result):
+        return _outputs_and_trace_match(
+            result, alg.pruning_trace, full_result, full_trace
+        )
+
     ceiling = 16 * num_nodes * CHUNK_WINDOW_COLS
     chunk_ctx = make_context(graph, left, right, d=8, max_block_bytes=ceiling)
     chunk_alg = BackwardIDJY(chunk_ctx)
     chunk_result = chunk_alg.top_k(K)
     chunk_steps = chunk_ctx.engine.stats.propagation_steps
     chunk_peak = chunk_ctx.engine.stats.peak_block_bytes
-    chunk_match = (
-        [(p.left, p.right) for p in chunk_result]
-        == [(p.left, p.right) for p in full_result]
-        and np.allclose(
-            [p.score for p in chunk_result],
-            [p.score for p in full_result],
-            atol=1e-12,
-        )
-        and chunk_alg.pruning_trace == full_trace
+    chunk_match = matches_full(chunk_alg, chunk_result)
+
+    # --- spill mode: same ceiling, walk cache as the spill target ----
+    spill_engine = WalkEngine(graph)
+    spill_ctx = make_context(
+        graph, left, right, d=8, engine=spill_engine,
+        walk_cache=WalkCache(spill_engine, full_ctx.params),
+        max_block_bytes=ceiling,
     )
+    spill_alg = BackwardIDJY(spill_ctx)
+    spill_result = spill_alg.top_k(K)
+    spill_match = matches_full(spill_alg, spill_result)
 
     return {
         "topology": topology,
@@ -275,6 +305,79 @@ def bench_bound_cache(topology: str, num_nodes: int) -> dict:
         "bidj_chunked_steps": chunk_steps,
         "bidj_unbounded_steps": full_steps,
         "bidj_chunked_outputs_match": bool(chunk_match),
+        "bidj_spill_steps": spill_engine.stats.propagation_steps,
+        "bidj_spill_extensions": spill_engine.stats.extensions,
+        "bidj_spill_steps_saved": spill_engine.stats.steps_saved,
+        "bidj_spill_peak_block_bytes": spill_engine.stats.peak_block_bytes,
+        "bidj_spill_ceiling_honored": bool(
+            spill_engine.stats.peak_block_bytes <= ceiling
+        ),
+        "bidj_spill_outputs_match": bool(spill_match),
+    }
+
+
+_BOUNDED_SERIES_MEASURES = ("ppr", "dht")
+
+
+def _series_measure_factory(measure_name: str):
+    if measure_name == "ppr":
+        return lambda: TruncatedPPR(damping=PPR_DAMPING, epsilon=PPR_EPSILON)
+    if measure_name == "dht":
+        return DHTMeasure
+    raise ValueError(f"unknown bounded-series measure {measure_name!r}")
+
+
+def bench_bounded_series(
+    topology: str, num_nodes: int, measure_name: str
+) -> dict:
+    """Bounded-memory ``Series-IDJ`` vs. its unbounded oracle.
+
+    The measure-generic analogue of the chunked ``B-IDJ`` rows: the
+    same ``max_block_bytes`` ceiling (an 8-column window), the same
+    identical-output and identical-pruning-trace bars, plus the spill
+    counters — overflow survivors donate their states to the walk cache
+    and are resumed at the next level, so restart steps show up as
+    ``extensions`` / ``steps_saved`` in the engine stats.
+    """
+    graph, left, right = _workload(topology, num_nodes)
+    make_measure = _series_measure_factory(measure_name)
+
+    free_alg = SeriesIDJ(graph, make_measure(), left, right)
+    free_result = free_alg.top_k(K)
+    free_trace = list(free_alg.pruning_trace)
+    free_stats = free_alg.context.engine.stats
+    free_steps = free_stats.propagation_steps
+    free_peak = free_stats.peak_block_bytes
+
+    ceiling = 16 * num_nodes * CHUNK_WINDOW_COLS
+    measure = make_measure()
+    engine = WalkEngine(graph)
+    capped_alg = SeriesIDJ(
+        graph, measure, left, right, engine=engine,
+        walk_cache=WalkCache(engine, measure.cache_key()),
+        max_block_bytes=ceiling,
+    )
+    capped_result = capped_alg.top_k(K)
+    match = _outputs_and_trace_match(
+        capped_result, capped_alg.pruning_trace, free_result, free_trace
+    )
+    return {
+        "measure": measure_name,
+        "topology": topology,
+        "nodes": num_nodes,
+        "edges": graph.num_edges,
+        "set_size": SET_SIZE,
+        "d": measure.d,
+        "k": K,
+        "max_block_bytes": ceiling,
+        "bounded_peak_block_bytes": engine.stats.peak_block_bytes,
+        "unbounded_peak_block_bytes": free_peak,
+        "ceiling_honored": bool(engine.stats.peak_block_bytes <= ceiling),
+        "bounded_steps": engine.stats.propagation_steps,
+        "unbounded_steps": free_steps,
+        "spill_extensions": engine.stats.extensions,
+        "spill_steps_saved": engine.stats.steps_saved,
+        "outputs_match": bool(match),
     }
 
 
@@ -431,6 +534,7 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
     results = []
     bound_cache_results = []
     measure_results = []
+    bounded_series_results = []
     for topology in TOPOLOGIES:
         for num_nodes in sizes:
             row = bench_size(topology, num_nodes, repeats=repeats)
@@ -458,8 +562,27 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                 f"(ceiling {bc_row['bidj_max_block_bytes']} B, "
                 f"steps {bc_row['bidj_unbounded_steps']} -> "
                 f"{bc_row['bidj_chunked_steps']}, "
-                f"match={bc_row['bidj_chunked_outputs_match']})"
+                f"spill {bc_row['bidj_spill_steps']} "
+                f"[{bc_row['bidj_spill_extensions']} resumes, "
+                f"{bc_row['bidj_spill_steps_saved']} saved], "
+                f"match={bc_row['bidj_chunked_outputs_match']}/"
+                f"{bc_row['bidj_spill_outputs_match']})"
             )
+            for measure_name in _BOUNDED_SERIES_MEASURES:
+                bs_row = bench_bounded_series(topology, num_nodes, measure_name)
+                bounded_series_results.append(bs_row)
+                print(
+                    f"{bs_row['topology']:>12} n={bs_row['nodes']:>6}  "
+                    f"bounded Series-IDJ[{bs_row['measure']}] block "
+                    f"{bs_row['unbounded_peak_block_bytes']} -> "
+                    f"{bs_row['bounded_peak_block_bytes']} B "
+                    f"(ceiling {bs_row['max_block_bytes']} B, "
+                    f"steps {bs_row['unbounded_steps']} -> "
+                    f"{bs_row['bounded_steps']}, "
+                    f"{bs_row['spill_extensions']} spill resumes / "
+                    f"{bs_row['spill_steps_saved']} steps saved, "
+                    f"match={bs_row['outputs_match']})"
+                )
             m_row = bench_measure_ppr(topology, num_nodes, repeats=repeats)
             measure_results.append(m_row)
             print(
@@ -488,6 +611,7 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
         "workloads": results,
         "bound_cache": bound_cache_results,
         "measures": measure_results,
+        "bounded_series": bounded_series_results,
     }
     write_json_report(report_path, payload)
     print(f"wrote {report_path}")
@@ -519,6 +643,27 @@ def test_bound_cache_sharing_and_chunked_bidj():
         ), topology
         assert row["bidj_chunked_outputs_match"], topology
         assert row["bidj_ceiling_honored"], topology
+        assert row["bidj_spill_outputs_match"], topology
+        assert row["bidj_spill_ceiling_honored"], topology
+        assert row["bidj_spill_extensions"] > 0, topology
+        assert row["bidj_spill_steps"] < row["bidj_chunked_steps"], topology
+
+
+def test_bounded_series_spill_oracle_match():
+    """CI smoke bar for the bounded measure-generic path: identical
+    output and pruning trace under the ceiling, with a nonzero
+    spill-hit counter (resumed overflow survivors)."""
+    for topology in TOPOLOGIES:
+        for measure_name in _BOUNDED_SERIES_MEASURES:
+            row = bench_bounded_series(topology, SMOKE_SIZES[0], measure_name)
+            label = (topology, measure_name)
+            assert row["outputs_match"], label
+            assert row["ceiling_honored"], label
+            assert row["bounded_peak_block_bytes"] < row[
+                "unbounded_peak_block_bytes"
+            ], label
+            assert row["spill_extensions"] > 0, label
+            assert row["spill_steps_saved"] > 0, label
 
 
 def test_measure_rows_equivalent_with_cache_hits():

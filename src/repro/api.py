@@ -57,9 +57,11 @@ def _reject_dht_options_under_measure(resolved, **options) -> None:
     """Fail loudly when DHT-only options accompany a non-DHT measure.
 
     A measure fixes its own coefficients and truncation depth (configure
-    it on the measure instance), and the measure-generic joins have no
-    bounded-memory chunked mode yet — silently dropping these options
-    would change results or memory behaviour without warning.
+    it on the measure instance) — silently dropping these options would
+    change results without warning.  ``max_block_bytes`` is *not* among
+    them: the measure-generic deepening join runs the same
+    bounded-memory chunked rounds as ``B-IDJ``, so the ceiling passes
+    through to every measure path.
     """
     passed = [name for name, value in options.items() if value is not None]
     if passed:
@@ -109,8 +111,8 @@ def two_way_join(
         deepening); the forward algorithms are DHT-only.
     params / d / epsilon:
         DHT configuration; see :class:`repro.core.dht.DHTParams`.
-        Rejected under a non-DHT measure (as is ``max_block_bytes``) —
-        the measure instance fixes its own coefficients and depth.
+        Rejected under a non-DHT measure — the measure instance fixes
+        its own coefficients and depth.
     measure:
         ``None`` / a DHT name for the core DHT path, or ``"ppr"`` /
         ``"simrank"`` / a :class:`~repro.extensions.measures.SeriesMeasure`
@@ -126,7 +128,8 @@ def two_way_join(
         ``Y`` bounds and restricted-tail plans across them; omitted, a
         private per-join cache is created.
     max_block_bytes:
-        Optional byte ceiling on ``B-IDJ``'s resumable walk block; see
+        Optional byte ceiling on the deepening join's resumable walk
+        block (``B-IDJ`` and ``Series-IDJ`` alike); see
         :class:`~repro.core.two_way.base.TwoWayContext`.
 
     Returns
@@ -144,7 +147,6 @@ def two_way_join(
             )
         _reject_dht_options_under_measure(
             resolved, params=params, d=d, epsilon=epsilon,
-            max_block_bytes=max_block_bytes,
         )
         return series_two_way_join(
             graph, left, right, k,
@@ -153,6 +155,7 @@ def two_way_join(
             engine=engine,
             walk_cache=walk_cache,
             bound_cache=bound_cache,
+            max_block_bytes=max_block_bytes,
         )
     context = make_context(
         graph, left, right, params=params, d=d, epsilon=epsilon, engine=engine,
@@ -198,8 +201,8 @@ def multi_way_join(
         ``"simrank"`` / a :class:`~repro.extensions.measures.SeriesMeasure`
         instance for the measure-generic path (shared walks and bounds
         across all query edges, exactly as for DHT).  The DHT-only
-        options ``params``/``d``/``epsilon``/``max_block_bytes`` are
-        rejected alongside a non-DHT measure.
+        options ``params``/``d``/``epsilon`` are rejected alongside a
+        non-DHT measure; ``max_block_bytes`` applies to every measure.
     aggregate:
         Monotone ``f`` over per-edge DHT scores (default ``MIN``).
     m:
@@ -233,7 +236,6 @@ def multi_way_join(
             )
         _reject_dht_options_under_measure(
             resolved, params=params, d=d, epsilon=epsilon,
-            max_block_bytes=max_block_bytes,
         )
         return series_multi_way_join(
             graph, query_graph, node_sets, k,
@@ -244,6 +246,7 @@ def multi_way_join(
             m=m,
             share_walks=share_walks,
             share_bounds=share_bounds,
+            max_block_bytes=max_block_bytes,
         )
     spec = NWayJoinSpec(
         graph=graph,

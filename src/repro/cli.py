@@ -71,8 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SimRank fixed-point sweeps (--measure simrank)")
         p.add_argument(
             "--max-block-bytes", type=int, default=None,
-            help="ceiling on B-IDJ's resumable walk block "
-                 "(bounded-memory chunked rounds; default unbounded)",
+            help="ceiling on the deepening join's resumable walk block, "
+                 "for DHT and series measures alike (bounded-memory "
+                 "chunked rounds with walk-cache spill; default "
+                 "unbounded)",
         )
         p.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON")
@@ -162,8 +164,6 @@ def _run_two_way(args) -> int:
     left, right = _resolve_sets(args.sets, [args.left, args.right])
     measure = _series_measure(args)
     if measure is not None:
-        # max_block_bytes is DHT-only; forwarding it lets the API reject
-        # the combination loudly instead of silently ignoring the flag.
         pairs = two_way_join(
             graph, left, right, k=args.k,
             algorithm=args.algorithm,

@@ -55,7 +55,10 @@ class NWayJoinSpec:
         back to a private cache (the pre-sharing, per-edge build cost).
     max_block_bytes:
         Optional resumable-block byte ceiling forwarded to every edge
-        context; caps ``B-IDJ``'s per-edge walk-block memory (see
+        context; caps the per-edge walk-block memory of the deepening
+        joins — ``B-IDJ`` for DHT specs, ``Series-IDJ`` for measure
+        specs — which switch to bounded-memory chunked rounds with
+        walk-cache spill under it (see
         :class:`~repro.core.two_way.base.TwoWayContext`).
     measure:
         Optional :class:`repro.extensions.measures.SeriesMeasure`

@@ -32,7 +32,7 @@ equivalence oracles: :func:`back_walk_series` and
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, List, Optional, Protocol
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from repro.core.two_way.base import (
     top_k_pairs,
 )
 from repro.graph.validation import GraphValidationError
+from repro.walks.rounds import DeepeningRounds, columns_for_budget
 from repro.walks.state import WalkState
 
 # 16 columns keeps the dense mass block cache-resident on large graphs
@@ -269,8 +270,8 @@ class BackwardBasicJoin:
                 f"block_size must be >= 1, got {block_size}"
             )
         if context.max_block_bytes is not None:
-            cap = max(
-                1, context.max_block_bytes // (16 * context.engine.num_nodes)
+            cap = columns_for_budget(
+                context.max_block_bytes, context.engine.num_nodes
             )
             block_size = min(block_size, cap)
         self._ctx = context
@@ -407,19 +408,25 @@ class BackwardIDJ:
     by bounded-memory chunked rounds: a resumable *window* of at most
     ``max_block_bytes`` (16 bytes per node per column: walker mass plus
     score prefix) is retained between deepening levels, and overflow
-    targets are walked in throwaway chunks of the same size, restarting
-    at each level.  Survivors of the throwaway chunks are folded into
-    the window as pruning frees columns; chunks beyond one window's
-    worth of repack candidates are dropped as soon as their scores are
-    read, and score vectors are consumed streaming (only their left-row
-    slice is kept), so a round's live walk memory is
+    targets are walked in throwaway chunks of the same size.  Survivors
+    of the throwaway chunks are folded into the window as pruning frees
+    columns; overflow survivors beyond the window's capacity are
+    *spilled* — their single-column states are donated to the walk
+    cache (under its LRU budget) and resumed from it at the next level,
+    so with a cache on the context the restart steps of the old
+    drop-and-re-walk policy become ``extensions`` / ``steps_saved``
+    counters instead.  Cache-less contexts keep the restart behaviour.
+    Score vectors are consumed streaming (only their left-row slice is
+    kept), so a round's live walk memory is
     ``O(max_block_bytes + |P| |Q|)`` rather than the unbounded mode's
     ``O(n |Q|)``.  Scores are bit-identical
     either way (Eq. 5 columns propagate independently), so the top-``k``
     output and the pruning trace do not change — only the
     memory/compute trade-off does, visible as extra
     ``propagation_steps`` and a capped ``peak_block_bytes`` in the
-    engine stats.
+    engine stats.  The round machinery itself is the shared
+    :class:`~repro.walks.rounds.DeepeningRounds` (the measure-generic
+    ``Series-IDJ`` runs the identical plan).
 
     Parameters
     ----------
@@ -472,98 +479,13 @@ class BackwardIDJ:
             return []
         ctx = self._ctx
         bound = self._bound_factory(ctx)
-        cache = ctx.walk_cache
         self.pruning_trace = []
         left = ctx.left_array
         zero = ctx.params.zero_score
-        max_cols: Optional[int] = None
-        if self._max_block_bytes is not None:
-            # Two (n, B) float64 buffers per column: mass + score prefix.
-            max_cols = max(
-                1, self._max_block_bytes // (16 * ctx.engine.num_nodes)
-            )
-
+        rounds = DeepeningRounds(
+            ctx.engine, ctx.params, ctx.walk_cache, self._max_block_bytes
+        )
         active: List[int] = list(ctx.right)
-        state: Optional[WalkState] = None  # retained resumable window
-        state_cols: Dict[int, int] = {}
-        # This round's repack candidates (window + a budgeted prefix of
-        # the throwaway chunks), for prune-time cache donation and
-        # survivor re-packing.
-        round_chunks: List[Tuple[WalkState, List[int]]] = []
-        walked: Dict[int, Tuple[WalkState, int]] = {}
-
-        def walk_level(level: int, consume) -> None:
-            """Feed every active target's ``level`` score vector to
-            ``consume(q, vector)`` — vectors are *not* retained here.
-
-            Resolution order per target: cached vector (no walk), the
-            retained resumable block (extended in batch), then — in the
-            unbounded mode — the cache's own single-column resume path
-            for targets that were cache-served at an earlier level but
-            missed at this one.  Targets that fit neither (bounded mode
-            overflow) are walked in throwaway chunks of at most
-            ``max_cols`` columns, restarted per level; only the first
-            ``max_cols`` columns' worth of chunks are kept alive as
-            repack candidates, the rest are dropped as soon as their
-            vectors are consumed, so the round's live walk blocks stay
-            ``O(max_block_bytes)`` no matter how large ``|Q|`` is.
-            """
-            nonlocal state, state_cols
-            round_chunks.clear()
-            walked.clear()
-            resident: List[int] = []
-            pending: List[int] = []
-            for q in active:
-                if cache is not None:
-                    cached = cache.peek(q, level)
-                    if cached is not None:
-                        consume(q, cached)
-                        continue
-                if state is not None and q in state_cols:
-                    resident.append(q)
-                elif max_cols is None and state is not None:
-                    # The peek above already recorded this miss.
-                    consume(q, cache.scores(q, level, count_stats=False))
-                else:
-                    pending.append(q)
-            if state is None and pending:
-                # Cold start: the first walking round claims residency.
-                claim = pending if max_cols is None else pending[:max_cols]
-                pending = pending[len(claim):]
-                state = WalkState(ctx.engine, ctx.params, claim)
-                state_cols = {q: j for j, q in enumerate(claim)}
-                resident = claim
-            if state is not None:
-                if resident:
-                    state.advance_to(level)
-                round_chunks.append(
-                    (state, [int(t) for t in state.targets])
-                )
-                for q in resident:
-                    column = state_cols[q]
-                    walked[q] = (state, column)
-                    vector = state.score_column(column)
-                    if cache is not None:
-                        cache.put_scores(q, level, vector)
-                    consume(q, vector)
-            if pending:  # bounded-mode overflow: throwaway chunks
-                width = max_cols if max_cols is not None else len(pending)
-                candidate_cols = 0
-                for start in range(0, len(pending), width):
-                    group = pending[start : start + width]
-                    chunk = WalkState(ctx.engine, ctx.params, group)
-                    chunk.advance_to(level)
-                    retain = max_cols is None or candidate_cols < max_cols
-                    if retain:
-                        candidate_cols += len(group)
-                        round_chunks.append((chunk, group))
-                    for j, q in enumerate(group):
-                        if retain:
-                            walked[q] = (chunk, j)
-                        vector = chunk.score_column(j)
-                        if cache is not None:
-                            cache.put_scores(q, level, vector)
-                        consume(q, vector)
 
         level = 1
         while level < ctx.d:
@@ -585,7 +507,7 @@ class BackwardIDJ:
                     self._observer.observe(q, level, vector, float(tails[j]))
                 left_scores[:, j] = vector[left]
 
-            walk_level(level, gather)
+            rounds.walk_level(active, level, gather)
             valid = left[:, None] != targets_arr[None, :]
             floor = BoundedTopK(k)
             # Algorithm 2, step 7: only informative lower bounds (pairs
@@ -604,14 +526,10 @@ class BackwardIDJ:
                     "threshold": t_k,
                 }
             )
-            if cache is not None:
-                for q, flag in zip(active, keep):
-                    if not flag and q in walked:
-                        holder, column = walked[q]
-                        cache.adopt(holder.extract_column(column))
-            state, state_cols = self._repack(
-                round_chunks, set(surviving), level, max_cols
+            rounds.donate_pruned(
+                q for q, flag in zip(active, keep) if not flag
             )
+            rounds.repack(set(surviving), level)
             active = surviving
             level *= 2
 
@@ -622,57 +540,8 @@ class BackwardIDJ:
                 self._observer.observe(q, ctx.d, vector, 0.0)
             pairs.extend(ctx.pairs_for_target(vector, q))
 
-        walk_level(ctx.d, emit)
+        rounds.walk_level(active, ctx.d, emit)
         return top_k_pairs(pairs, k)
-
-    @staticmethod
-    def _repack(
-        parts: List[Tuple[WalkState, List[int]]],
-        survivors: set,
-        level: int,
-        max_cols: Optional[int],
-    ) -> Tuple[Optional[WalkState], Dict[int, int]]:
-        """Narrow this round's walked blocks and fold them into the next
-        retained window.
-
-        Unbounded mode has a single part (the full-width block):
-        narrowing it in place preserves the PR-1 behaviour, including
-        the no-copy fast path when nothing was pruned from the block.
-        Bounded mode packs survivor columns — window first, then this
-        round's throwaway chunks — until the ``max_cols`` budget is
-        full; the rest are dropped and re-walked at the next level.
-        Only parts at this round's ``level`` are concatenated (the
-        window can lag a round when all its targets were cache-served);
-        a lagging window is kept only when nothing newer survived.
-        """
-        narrowed: List[Tuple[WalkState, List[int]]] = []
-        for st, targets in parts:
-            kept_cols = [j for j, q in enumerate(targets) if q in survivors]
-            if not kept_cols:
-                continue
-            kept_targets = [targets[j] for j in kept_cols]
-            if len(kept_cols) != st.width:
-                st = st.select(kept_cols)
-            narrowed.append((st, kept_targets))
-        if not narrowed:
-            return None, {}
-        current = [p for p in narrowed if p[0].level == level]
-        if not current:
-            current = narrowed[:1]
-        pieces: List[WalkState] = []
-        packed: List[int] = []
-        for st, targs in current:
-            if max_cols is not None:
-                room = max_cols - len(packed)
-                if room <= 0:
-                    break
-                if len(targs) > room:
-                    st = st.select(list(range(room)))
-                    targs = targs[:room]
-            pieces.append(st)
-            packed.extend(targs)
-        state = pieces[0] if len(pieces) == 1 else WalkState.concat(pieces)
-        return state, {q: j for j, q in enumerate(packed)}
 
     def top_k_reference(self, k: int) -> List[ScoredPair]:
         """The seed implementation: per-target walks, restarted per level.

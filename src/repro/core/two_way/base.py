@@ -150,12 +150,16 @@ class TwoWayContext:
         engine and params as this context.
     max_block_bytes:
         Optional ceiling, in bytes, on any single resumable walk block
-        (mass + score prefix, 16 bytes per node per column).  ``B-IDJ``
-        reads it and switches to bounded-memory chunked rounds, and
-        ``B-BJ`` clamps its block width under it; ``None`` (default)
-        keeps the full-width / default-width blocks.  A ceiling below
-        the cost of one column (``16 * num_nodes``) is honoured as
-        single-column chunks — the smallest block Eq. 5 can propagate.
+        (mass + score prefix, 16 bytes per node per column).  The
+        deepening joins (``B-IDJ`` and the measure-generic
+        ``Series-IDJ``) read it and switch to bounded-memory chunked
+        rounds — with a walk cache present, overflow survivors are
+        spilled into it and resumed instead of re-walked — and the
+        basic joins (``B-BJ`` / ``Series-B-BJ``) clamp their block
+        width under it; ``None`` (default) keeps the full-width /
+        default-width blocks.  A ceiling below the cost of one column
+        (``16 * num_nodes``) is honoured as single-column chunks — the
+        smallest block the propagation can run.
     measure:
         Optional :class:`repro.extensions.measures.SeriesMeasure`
         (duck-typed — the core layer never imports ``extensions``).

@@ -45,6 +45,14 @@ Batched-block equivalence: ``backward_scores_block`` must agree with
 per-target ``backward_scores`` at every node ``u != target`` (reflexive
 entries may differ by the kernel's return-walk convention; every join
 excludes ``p == q``).
+
+A measure whose ``kernel()`` is non-``None`` gets the full resumable
+walk layer for free: :class:`~repro.walks.state.WalkState` blocks,
+walk-cache adoption, and the bounded-memory chunked rounds of
+:class:`~repro.walks.rounds.DeepeningRounds` (a ``max_block_bytes``
+ceiling with walk-cache spill of overflow survivors).  Matrix-backed
+measures (``kernel() is None``) use only the score-vector half of the
+walk cache and resume through their own memoised iterates.
 """
 
 from __future__ import annotations
@@ -110,7 +118,9 @@ class SeriesMeasure(Protocol):
 
     def kernel(self) -> Optional[BlockKernel]:
         """The resumable block kernel, or ``None`` for matrix-backed
-        measures (no :class:`~repro.walks.state.WalkState` support)."""
+        measures (no :class:`~repro.walks.state.WalkState` support —
+        and therefore no bounded-memory walk windows or cache spill;
+        such measures resume through their own memoised iterates)."""
         ...
 
 

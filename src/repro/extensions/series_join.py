@@ -19,7 +19,11 @@ The machinery mirrors the DHT path layer by layer:
   (extend, don't restart), with the measure's
   :class:`~repro.walks.kernels.BlockKernel` supplying the per-step
   algebra; :meth:`SeriesIDJ.top_k_reference` keeps the seed
-  restart-per-level implementation as the oracle.
+  restart-per-level implementation as the oracle.  The rounds run on
+  the shared :class:`~repro.walks.rounds.DeepeningRounds` machinery,
+  so a ``max_block_bytes`` ceiling buys the same bounded-memory
+  chunked rounds (and walk-cache spill of overflow survivors) as the
+  DHT ``B-IDJ``.
 * **Shared caches** — contexts carry the same
   :class:`~repro.walks.cache.WalkCache` /
   :class:`~repro.bounds_cache.BoundPlanCache` pair as DHT joins, keyed
@@ -31,7 +35,7 @@ The machinery mirrors the DHT path layer by layer:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -55,7 +59,7 @@ from repro.rankjoin.inputs import LazyInput, MaterializedInput
 from repro.rankjoin.pbrj import PBRJ
 from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
-from repro.walks.state import WalkState
+from repro.walks.rounds import DeepeningRounds, columns_for_budget
 
 from repro.bounds_cache import BoundPlanCache
 
@@ -68,9 +72,11 @@ def make_series_context(
     engine: Optional[WalkEngine] = None,
     walk_cache: Optional[WalkCache] = None,
     bound_cache: Optional[BoundPlanCache] = None,
+    max_block_bytes: Optional[int] = None,
 ) -> TwoWayContext:
     """A validated measure context (``d = measure.d``, caches keyed by
-    the measure's :meth:`cache_key`)."""
+    the measure's :meth:`cache_key`, optional resumable-block byte
+    ceiling — see :class:`~repro.core.two_way.base.TwoWayContext`)."""
     return TwoWayContext(
         graph=graph,
         params=None,
@@ -80,6 +86,7 @@ def make_series_context(
         engine=engine,
         walk_cache=walk_cache,
         bound_cache=bound_cache,
+        max_block_bytes=max_block_bytes,
         measure=measure,
     )
 
@@ -111,6 +118,11 @@ class SeriesBackwardJoin:
         Targets per propagated block.  ``1`` selects the per-target
         oracle path (:meth:`SeriesMeasure.backward_scores`), kept as the
         equivalence baseline and benchmark reference.
+    max_block_bytes:
+        Optional resumable-block byte ceiling forwarded to the context
+        (16 bytes per node per column).  Clamps this join's block width
+        and switches :class:`SeriesIDJ` to bounded-memory chunked
+        rounds, exactly like the DHT ``B-IDJ``.
     """
 
     name = "Series-B-BJ"
@@ -125,11 +137,13 @@ class SeriesBackwardJoin:
         walk_cache: Optional[WalkCache] = None,
         bound_cache: Optional[BoundPlanCache] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        max_block_bytes: Optional[int] = None,
     ) -> None:
         self._bind(
             make_series_context(
                 graph, measure, left, right,
                 engine=engine, walk_cache=walk_cache, bound_cache=bound_cache,
+                max_block_bytes=max_block_bytes,
             ),
             block_size,
         )
@@ -152,6 +166,13 @@ class SeriesBackwardJoin:
             raise GraphValidationError(
                 f"block_size must be >= 1, got {block_size}"
             )
+        if context.max_block_bytes is not None:
+            # Same per-block semantics as B-BJ: clamp the propagated
+            # block's width so its buffers stay under the ceiling.
+            cap = columns_for_budget(
+                context.max_block_bytes, context.engine.num_nodes
+            )
+            block_size = min(block_size, cap)
         self._ctx = context
         self._measure: SeriesMeasure = context.measure
         self._block_size = block_size
@@ -207,13 +228,24 @@ class SeriesBackwardJoin:
 class SeriesIDJ(SeriesBackwardJoin):
     """``B-IDJ`` generalised: resumable doubling walks + tail pruning.
 
-    One :class:`~repro.walks.state.WalkState` block (built from the
-    measure's kernel) carries all active targets across doubling levels,
-    so level ``2l`` extends level ``l`` instead of restarting — the same
-    ``~2d -> d`` column-step saving the DHT ``B-IDJ`` gets.  With a walk
-    cache on the context, walked levels are donated (``put_scores``) and
-    pruned targets hand over their resumable column (``adopt``), so
-    restart refills and sibling edges resume instead of re-walking.
+    Kernel measures run on the shared
+    :class:`~repro.walks.rounds.DeepeningRounds` machinery — the exact
+    plan the DHT ``B-IDJ`` runs: one resumable
+    :class:`~repro.walks.state.WalkState` block carries all active
+    targets across doubling levels (level ``2l`` extends level ``l``,
+    the same ``~2d -> d`` column-step saving), walked levels are donated
+    to the walk cache (``put_scores``) and pruned targets hand over
+    their resumable column (``adopt``), so restart refills and sibling
+    edges resume instead of re-walking.
+
+    With ``max_block_bytes`` on the context, the same bounded-memory
+    chunked rounds as ``B-IDJ`` apply: a byte-ceilinged resumable
+    window, throwaway overflow chunks, survivor re-packing via
+    :meth:`~repro.walks.state.WalkState.concat`, and the spill policy —
+    overflow survivors donate their single-column states to the walk
+    cache and are resumed from it at the next level (visible as
+    ``extensions`` / ``steps_saved``), instead of restarting.  Outputs
+    and pruning traces are bit-identical to the unbounded mode.
 
     The upper bound is the measure's reach-mass
     :class:`~repro.extensions.measures.SeriesYBound` when the measure
@@ -223,7 +255,10 @@ class SeriesIDJ(SeriesBackwardJoin):
 
     Matrix-backed measures (``kernel() is None``) have nothing to
     resume in walk space; their levels are batched gathers from the
-    measure's memoised iterates, which the measure itself resumes.
+    measure's memoised iterates, which the measure itself resumes.  A
+    byte ceiling only clamps the gather width there — the iterate's
+    dense ``O(n^2)`` memory lives in the measure, outside the walk
+    layer's budget.
     """
 
     name = "Series-IDJ"
@@ -242,23 +277,25 @@ class SeriesIDJ(SeriesBackwardJoin):
         self.pruning_trace = []
 
         active: List[int] = list(ctx.right)
-        state: Optional[WalkState] = None
-        state_cols: Dict[int, int] = {}
-        walked: Dict[int, int] = {}  # q -> column of `state` this round
+        rounds: Optional[DeepeningRounds] = None
+        max_cols: Optional[int] = None
+        if kern is not None:
+            rounds = DeepeningRounds(engine, kern, cache, ctx.max_block_bytes)
+        elif ctx.max_block_bytes is not None:
+            max_cols = columns_for_budget(ctx.max_block_bytes, engine.num_nodes)
 
         def walk_level(level: int, consume) -> None:
             """Feed every active target's ``level`` score vector to
             ``consume(q, vector)``.
 
-            Resolution order per target: cached vector (no walk), the
-            retained resumable block (extended in batch), the cache's
-            single-column resume path (targets cache-served at an
-            earlier level that missed at this one), then a fresh batched
-            block for whatever remains.
+            Kernel measures delegate to the shared deepening-rounds
+            machinery (cache peek, resumable window, spill resume,
+            bounded chunks).  Matrix-backed measures gather from the
+            memoised iterate, chunked under the byte ceiling.
             """
-            nonlocal state, state_cols
-            walked.clear()
-            resident: List[int] = []
+            if rounds is not None:
+                rounds.walk_level(active, level, consume)
+                return
             pending: List[int] = []
             for q in active:
                 if cache is not None:
@@ -266,34 +303,13 @@ class SeriesIDJ(SeriesBackwardJoin):
                     if cached is not None:
                         consume(q, cached)
                         continue
-                if state is not None and q in state_cols:
-                    resident.append(q)
-                else:
-                    pending.append(q)
-            if kern is None:
-                if pending:
-                    block = measure.backward_scores_block(engine, pending, level)
-                    for j, q in enumerate(pending):
-                        vector = block[:, j]
-                        if cache is not None:
-                            cache.put_scores(q, level, vector)
-                        consume(q, vector)
-                return
-            if state is None and pending:
-                # Cold start: the first walking round claims residency.
-                state = WalkState(engine, kern, pending)
-                state_cols = {q: j for j, q in enumerate(pending)}
-                resident = pending
-            elif pending:
-                # The peek above already recorded these misses.
-                for q in pending:
-                    consume(q, cache.scores(q, level, count_stats=False))
-            if resident:
-                state.advance_to(level)
-                for q in resident:
-                    column = state_cols[q]
-                    walked[q] = column
-                    vector = state.score_column(column)
+                pending.append(q)
+            width = len(pending) if max_cols is None else max_cols
+            for start in range(0, len(pending), max(width, 1)):
+                group = pending[start : start + width]
+                block = measure.backward_scores_block(engine, group, level)
+                for j, q in enumerate(group):
+                    vector = block[:, j]
                     if cache is not None:
                         cache.put_scores(q, level, vector)
                     consume(q, vector)
@@ -328,19 +344,11 @@ class SeriesIDJ(SeriesBackwardJoin):
                     "threshold": t_k,
                 }
             )
-            if cache is not None and state is not None:
-                for q, flag in zip(active, keep):
-                    if not flag and q in walked:
-                        cache.adopt(state.extract_column(walked[q]))
-            if state is not None:
-                kept_targets = [q for q in surviving if q in state_cols]
-                kept_cols = [state_cols[q] for q in kept_targets]
-                if kept_cols:
-                    if len(kept_cols) != state.width:
-                        state = state.select(kept_cols)
-                    state_cols = {q: j for j, q in enumerate(kept_targets)}
-                else:
-                    state, state_cols = None, {}
+            if rounds is not None:
+                rounds.donate_pruned(
+                    q for q, flag in zip(active, keep) if not flag
+                )
+                rounds.repack(set(surviving), level)
             active = surviving
             level *= 2
 
@@ -411,10 +419,14 @@ def series_two_way_join(
     engine: Optional[WalkEngine] = None,
     walk_cache: Optional[WalkCache] = None,
     bound_cache: Optional[BoundPlanCache] = None,
+    max_block_bytes: Optional[int] = None,
 ) -> List[ScoredPair]:
     """Top-``k`` 2-way join under an arbitrary series measure.
 
     ``algorithm`` is ``"idj"`` (pruned, default) or ``"basic"``.
+    ``max_block_bytes`` caps any single resumable walk block, switching
+    the deepening join to bounded-memory chunked rounds (with walk-cache
+    spill for overflow survivors) — identical output either way.
     """
     name = algorithm.lower()
     if name == "basic":
@@ -428,6 +440,7 @@ def series_two_way_join(
     join = cls(
         graph, measure, left, right,
         engine=engine, walk_cache=walk_cache, bound_cache=bound_cache,
+        max_block_bytes=max_block_bytes,
     )
     return join.top_k(k)
 
@@ -561,6 +574,7 @@ def series_multi_way_join(
     m: int = 50,
     share_walks: bool = True,
     share_bounds: bool = True,
+    max_block_bytes: Optional[int] = None,
 ) -> List[CandidateAnswer]:
     """Top-``k`` n-way join under an arbitrary series measure.
 
@@ -570,7 +584,9 @@ def series_multi_way_join(
     incremental F-structure refinement is a DHT-specific optimisation
     with no measure-generic counterpart yet.  All edges share one walk
     cache and one bound cache (disable with ``share_walks`` /
-    ``share_bounds``), both keyed by the measure.
+    ``share_bounds``), both keyed by the measure.  ``max_block_bytes``
+    caps each edge's resumable walk block (bounded-memory rounds with
+    walk-cache spill), forwarded uniformly through the spec.
     """
     spec = NWayJoinSpec(
         graph=graph,
@@ -582,6 +598,7 @@ def series_multi_way_join(
         measure=measure,
         share_walks=share_walks,
         share_bounds=share_bounds,
+        max_block_bytes=max_block_bytes,
     )
     name = algorithm.lower()
     if name == "ap":

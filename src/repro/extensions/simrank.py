@@ -25,7 +25,9 @@ scores through the same measure instance.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,11 +42,12 @@ from repro.rankjoin.pbrj import PBRJ
 from repro.walks.engine import WalkEngine
 
 
-def _in_weight_matrix(graph: Graph, weighted: bool) -> np.ndarray:
-    """Column-normalised in-neighbour weights: ``W[x, a] = w_xa / sum_in(a)``.
+def _in_weight_matrix_reference(graph: Graph, weighted: bool) -> np.ndarray:
+    """The seed per-entry dict loop building ``W[x, a] = w_xa / sum_in(a)``.
 
-    Shared by :func:`simrank_matrix` and :class:`SimRankMeasure` so the
-    measure's iterates are bit-identical to the oracle solver's.
+    Kept verbatim as the bit-identity oracle for the vectorised
+    :func:`_in_weight_matrix` (see the regression test in
+    ``tests/test_extensions.py``); production code never calls it.
     """
     n = graph.num_nodes
     w = np.zeros((n, n), dtype=np.float64)
@@ -55,6 +58,43 @@ def _in_weight_matrix(graph: Graph, weighted: bool) -> np.ndarray:
         total = sum(incoming.values()) if weighted else float(len(incoming))
         for x, weight in incoming.items():
             w[x, a] = (weight if weighted else 1.0) / total
+    return w
+
+
+def _in_weight_matrix(graph: Graph, weighted: bool) -> np.ndarray:
+    """Column-normalised in-neighbour weights: ``W[x, a] = w_xa / sum_in(a)``.
+
+    Vectorised: one pass extracts the in-edge arrays **in each column's
+    adjacency insertion order** — ``np.bincount`` then accumulates every
+    column total in exactly the order the seed loop's running Python
+    ``sum`` visited it, so the result is bit-identical on any graph, not
+    just where summation order is benign — and NumPy does the
+    normalising division and the dense scatter, replacing the seed's
+    per-entry pure-Python dict loop
+    (:func:`_in_weight_matrix_reference`, kept as the bit-identity
+    oracle).  Shared by :func:`simrank_matrix` and
+    :class:`SimRankMeasure` so the measure's iterates are bit-identical
+    to the oracle solver's.
+    """
+    n = graph.num_nodes
+    w = np.zeros((n, n), dtype=np.float64)
+    m = graph.num_edges
+    if n == 0 or m == 0:
+        return w
+    rows = np.empty(m, dtype=np.int64)
+    cols = np.empty(m, dtype=np.int64)
+    vals = np.empty(m, dtype=np.float64)
+    i = 0
+    for a in graph.nodes():
+        for x, weight in graph.in_neighbors(a).items():
+            rows[i], cols[i], vals[i] = x, a, weight
+            i += 1
+    if weighted:
+        totals = np.bincount(cols, weights=vals, minlength=n)
+        w[rows, cols] = vals / totals[cols]
+    else:
+        counts = np.bincount(cols, minlength=n).astype(np.float64)
+        w[rows, cols] = 1.0 / counts[cols]
     return w
 
 
@@ -96,6 +136,19 @@ def simrank_matrix(
     return similarity
 
 
+@dataclass
+class SimRankMeasureStats:
+    """Iterate-cache accounting, cumulative since the last reset."""
+
+    sweeps: int = 0  # fixed-point sweeps actually computed
+    iterate_evictions: int = 0  # memoised iterates dropped by the LRU cap
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.sweeps = 0
+        self.iterate_evictions = 0
+
+
 class SimRankMeasure:
     """SimRank as a :class:`repro.extensions.measures.SeriesMeasure`.
 
@@ -110,24 +163,39 @@ class SimRankMeasure:
     "walks" are column gathers from memoised matrix iterates, computed
     once per level per graph and *resumed* from the deepest cached
     iterate (the recurrence is deterministic, so resumed and fresh
-    iterates are bit-identical).  Dense ``O(n^2)`` memory — small
-    graphs only, like every SimRank computation here.
+    iterates are bit-identical).  Dense ``O(n^2)`` memory per iterate —
+    small graphs only, like every SimRank computation here — so the
+    memo is capped at ``max_cached_iterates`` matrices: the deepest
+    iterate is always retained (it is what deeper requests resume
+    from), shallower ones live in an LRU and are recomputed from the
+    identity when evicted and needed again.  ``stats`` counts sweeps
+    and evictions.
     """
 
     def __init__(
-        self, decay: float = 0.8, iterations: int = 10, weighted: bool = True
+        self,
+        decay: float = 0.8,
+        iterations: int = 10,
+        weighted: bool = True,
+        max_cached_iterates: int = 4,
     ) -> None:
         if not (0.0 < decay < 1.0):
             raise GraphValidationError(f"decay must be in (0, 1), got {decay}")
         if iterations < 1:
             raise GraphValidationError(f"iterations must be >= 1, got {iterations}")
+        if max_cached_iterates < 1:
+            raise GraphValidationError(
+                f"max_cached_iterates must be >= 1, got {max_cached_iterates}"
+            )
         self.decay = decay
         self.d = iterations
         self.weighted = weighted
+        self.max_cached_iterates = max_cached_iterates
         self.name = f"SimRank(C={decay})"
+        self.stats = SimRankMeasureStats()
         self._graph: Optional[Graph] = None
         self._w: Optional[np.ndarray] = None
-        self._iterates: Dict[int, np.ndarray] = {}
+        self._iterates: "OrderedDict[int, np.ndarray]" = OrderedDict()
 
     @property
     def floor(self) -> float:
@@ -143,20 +211,45 @@ class SimRankMeasure:
         return ("simrank", self.decay, self.d, self.weighted)
 
     def _iterate_to(self, graph: Graph, steps: int) -> np.ndarray:
-        """The ``steps``-sweep iterate, resumed from the deepest cached one."""
+        """The ``steps``-sweep iterate, resumed from the deepest cached
+        one not past ``steps`` (the recurrence is deterministic, so the
+        result is bit-identical however it was reached)."""
         if self._graph is not graph:
             # Bound to a new graph: drop the old graph's iterates.
             self._graph = graph
             self._w = _in_weight_matrix(graph, self.weighted)
-            self._iterates = {0: np.eye(graph.num_nodes)}
-        level = max(l for l in self._iterates if l <= steps)
-        similarity = self._iterates[level]
+            self._iterates = OrderedDict({0: np.eye(graph.num_nodes)})
+        available = [l for l in self._iterates if l <= steps]
+        if available:
+            level = max(available)
+            similarity = self._iterates[level]
+            self._iterates.move_to_end(level)  # LRU refresh
+        else:
+            # Every shallow-enough iterate was evicted: level 0 is the
+            # identity and always rebuildable.
+            level, similarity = 0, np.eye(graph.num_nodes)
         while level < steps:
             similarity = _simrank_sweep(similarity, self._w, self.decay)
             level += 1
+            self.stats.sweeps += 1
         if level not in self._iterates:
             self._iterates[level] = similarity
+        else:
+            self._iterates.move_to_end(level)
+        self._evict_iterates()
         return similarity
+
+    def _evict_iterates(self) -> None:
+        """Cap the memo: keep the deepest iterate, LRU-evict shallower."""
+        deepest = max(self._iterates)
+        while len(self._iterates) > self.max_cached_iterates:
+            for level in self._iterates:  # iteration order == LRU order
+                if level != deepest:
+                    del self._iterates[level]
+                    self.stats.iterate_evictions += 1
+                    break
+            else:  # only the deepest is left; nothing evictable
+                break
 
     def backward_scores(self, engine: WalkEngine, target: int, steps: int) -> np.ndarray:
         """``steps``-sweep SimRank of every node to ``target`` (a matrix

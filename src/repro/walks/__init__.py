@@ -3,7 +3,9 @@
 Layered as: per-target Eq. 5 kernels (:class:`WalkEngine`, the
 equivalence oracle), batched block propagation
 (:meth:`WalkEngine.backward_first_hit_block`), resumable walk state
-(:class:`WalkState`), and the cross-join :class:`WalkCache`.
+(:class:`WalkState`), the cross-join :class:`WalkCache`, and the
+deepening-round machinery (:class:`DeepeningRounds`: bounded-memory
+windows + walk-cache spill, shared by ``B-IDJ`` and ``Series-IDJ``).
 """
 
 from repro.walks.cache import WalkCache, WalkCacheStats
@@ -14,11 +16,13 @@ from repro.walks.kernels import (
     PPRBlockKernel,
     as_block_kernel,
 )
+from repro.walks.rounds import DeepeningRounds
 from repro.walks.state import WalkState
 
 __all__ = [
     "BlockKernel",
     "DHTBlockKernel",
+    "DeepeningRounds",
     "PPRBlockKernel",
     "WalkCache",
     "WalkCacheStats",

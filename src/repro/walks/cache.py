@@ -158,6 +158,20 @@ class WalkCache:
         self.stats.misses += 1
         return None
 
+    def resumable_level(self, target: int) -> int:
+        """Level of the retained resumable state for ``target`` (0 if none).
+
+        A pure probe: touches neither the LRU order nor the hit/miss
+        stats.  The bounded-memory joins use it to decide whether an
+        overflow target has a spilled state worth resuming
+        (``0 < resumable_level(q) <= level``) or should be re-walked in
+        a fresh batched chunk.
+        """
+        entry = self._entries.get(target)
+        if entry is None or entry.state is None:
+            return 0
+        return entry.state.level
+
     def scores(
         self, target: int, level: int, count_stats: bool = True
     ) -> np.ndarray:
@@ -186,6 +200,10 @@ class WalkCache:
             if state.level > 0:
                 self.stats.extensions += 1
                 self.stats.steps_saved += state.level
+                # Mirror the resume into the engine currency so spill
+                # resumes are visible next to propagation_steps.
+                self._engine.stats.extensions += 1
+                self._engine.stats.steps_saved += state.level
         else:
             state = WalkState(self._engine, self._params, [target])
         state.advance_to(level)
@@ -214,10 +232,14 @@ class WalkCache:
     def adopt(self, state: WalkState) -> None:
         """Adopt a single-column resumable state (deepest wins).
 
-        ``B-IDJ`` donates a pruned target's column here so a later,
-        deeper request for that target resumes instead of restarting.
-        The caller hands over ownership: the cache may extend the state
-        in place.
+        The iterative-deepening joins donate columns here on two
+        occasions: a *pruned* target's column, so a later, deeper
+        request for that target resumes instead of restarting, and — in
+        bounded-memory mode — an overflow *survivor*'s column that no
+        longer fits the resumable window (the spill policy), so the next
+        deepening round resumes it from here rather than re-walking it
+        from level 0.  The caller hands over ownership: the cache may
+        extend the state in place.
         """
         if state.width != 1:
             raise GraphValidationError(
@@ -226,8 +248,15 @@ class WalkCache:
         try:
             expected = as_block_kernel(self._params)
         except GraphValidationError:
-            expected = None  # matrix-backed measure: no resumable layer
-        if expected is None or state.kernel != expected:
+            # Matrix-backed measures (e.g. SimRank) have no propagation
+            # kernel, so there is nothing a donated state could ever be
+            # resumed with — a distinct error from a kernel mismatch.
+            raise GraphValidationError(
+                "cannot adopt a resumable state: this cache's measure has "
+                "no resumable walk layer (only score vectors are cached "
+                "for matrix-backed measures)"
+            ) from None
+        if state.kernel != expected:
             raise GraphValidationError(
                 "adopted state was walked under a different measure kernel "
                 "than this cache"

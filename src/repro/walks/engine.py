@@ -72,8 +72,18 @@ class WalkEngineStats:
     restricted-tail propagation plans.  ``peak_block_bytes`` is the
     high-water mark of any single resumable walk block's buffers
     (walker mass + score prefix, 16 bytes per node per column) — the
-    number a ``max_block_bytes`` ceiling on ``B-IDJ`` is checked
-    against.
+    number a ``max_block_bytes`` ceiling on the iterative-deepening
+    joins is checked against.
+
+    ``extensions`` / ``steps_saved`` mirror the walk cache's resume
+    counters into the engine currency: one extension per request served
+    by resuming a retained or spilled :class:`~repro.walks.state.WalkState`
+    (instead of restarting from level 0), and the column-steps that
+    resume skipped.  The bounded-memory joins' spill policy — overflow
+    survivors donate their single-column states to the walk cache and
+    are resumed from it at the next deepening level — shows up here:
+    steps the drop-and-re-walk policy would have restarted become
+    ``steps_saved``.
     """
 
     propagation_steps: int = 0
@@ -83,6 +93,8 @@ class WalkEngineStats:
     plan_builds: int = 0
     plan_cache_hits: int = 0
     peak_block_bytes: int = 0
+    extensions: int = 0
+    steps_saved: int = 0
 
     def record_block_bytes(self, nbytes: int) -> None:
         """Raise the resumable-block high-water mark to ``nbytes``."""
@@ -98,6 +110,8 @@ class WalkEngineStats:
         self.plan_builds = 0
         self.plan_cache_hits = 0
         self.peak_block_bytes = 0
+        self.extensions = 0
+        self.steps_saved = 0
 
 
 class WalkEngine:

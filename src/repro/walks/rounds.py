@@ -1,0 +1,276 @@
+"""Shared deepening-round walk machinery for the iterative-deepening joins.
+
+``B-IDJ`` (the DHT path) and ``Series-IDJ`` (the measure-generic path)
+run the same walk plan: at each doubling level, feed every active
+target's score vector to a pruning step, keeping one resumable
+:class:`~repro.walks.state.WalkState` block so level ``2l`` extends
+level ``l`` instead of restarting.  :class:`DeepeningRounds` is that
+plan, factored out of both joins so the bounded-memory mode — and its
+spill policy — exist exactly once.
+
+**Unbounded mode** (``max_block_bytes is None``): one full-width
+resumable block carries every walking target across levels; targets
+that fall out of the block (served by the walk cache at an earlier
+level, then missing) are resumed through the cache's single-column
+path.
+
+**Bounded mode**: the resumable *window* is capped at
+``max_block_bytes`` (16 bytes per node per column: walker mass plus
+score prefix).  Overflow targets are walked in throwaway chunks of the
+same width, and the window is re-packed from this round's survivors
+(:meth:`~repro.walks.state.WalkState.concat`) after each pruning step.
+Survivors that do not fit the window are **spilled**: their
+single-column states are donated into the walk cache via
+:meth:`~repro.walks.cache.WalkCache.adopt` (under the cache's existing
+LRU budget), and the next round *resumes* them from the cache instead
+of re-walking from level 0 — the restart steps the old drop-and-re-walk
+policy paid become ``extensions`` / ``steps_saved`` counters (mirrored
+into :class:`~repro.walks.engine.WalkEngineStats`).  Without a cache
+there is nowhere to spill, and overflow survivors restart per level as
+before.
+
+Scores are bit-identical across all modes (Eq. 5 columns propagate
+independently and the prefix accumulation order is fixed), so the
+joins' top-``k`` outputs and pruning traces never depend on the memory
+budget — only ``propagation_steps`` / ``peak_block_bytes`` /
+``extensions`` do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.walks.cache import WalkCache
+from repro.walks.engine import WalkEngine
+from repro.walks.state import WalkState
+
+# A resumable block costs two (n, B) float64 buffers: walker mass plus
+# the accumulated score prefix.
+BYTES_PER_COLUMN_NODE = 16
+
+Consumer = Callable[[int, np.ndarray], None]
+
+
+def columns_for_budget(max_block_bytes: int, num_nodes: int) -> int:
+    """Widest block whose buffers fit ``max_block_bytes``, floored at 1.
+
+    The single source of the block-layout cost model — every clamp in
+    the join stack (window width, chunk width, ``B-BJ`` block width)
+    derives from it, so a layout change cannot desynchronise them.
+    A budget below one column's cost degrades to single-column blocks,
+    the smallest the propagation can run.
+    """
+    return max(1, max_block_bytes // (BYTES_PER_COLUMN_NODE * num_nodes))
+
+
+class DeepeningRounds:
+    """Resumable walk rounds with an optional byte-ceilinged window.
+
+    Parameters
+    ----------
+    engine:
+        The graph's walk engine.
+    params:
+        A :class:`~repro.core.dht.DHTParams` or any
+        :class:`~repro.walks.kernels.BlockKernel` — whatever
+        :class:`~repro.walks.state.WalkState` accepts.
+    cache:
+        Optional :class:`~repro.walks.cache.WalkCache` bound to the same
+        engine and measure.  Walked levels are donated (``put_scores``),
+        and in bounded mode it doubles as the spill target for overflow
+        survivors.
+    max_block_bytes:
+        Byte ceiling on any single resumable walk block (``None`` =
+        unbounded full-width blocks).  A ceiling below one column's cost
+        is honoured as single-column chunks — the smallest block the
+        propagation can run.
+    """
+
+    def __init__(
+        self,
+        engine: WalkEngine,
+        params: object,
+        cache: Optional[WalkCache],
+        max_block_bytes: Optional[int],
+    ) -> None:
+        self._engine = engine
+        self._params = params
+        self._cache = cache
+        self._max_cols: Optional[int] = None
+        if max_block_bytes is not None:
+            self._max_cols = columns_for_budget(max_block_bytes, engine.num_nodes)
+        self._state: Optional[WalkState] = None  # retained resumable window
+        self._state_cols: Dict[int, int] = {}
+        # This round's repack candidates (window + a budgeted prefix of
+        # the throwaway chunks), for prune-time cache donation and
+        # survivor re-packing.
+        self._round_chunks: List[Tuple[WalkState, List[int]]] = []
+        self._walked: Dict[int, Tuple[WalkState, int]] = {}
+
+    @property
+    def max_cols(self) -> Optional[int]:
+        """Window capacity in columns (``None`` = unbounded)."""
+        return self._max_cols
+
+    def walk_level(
+        self, active: Sequence[int], level: int, consume: Consumer
+    ) -> None:
+        """Feed every active target's ``level`` score vector to
+        ``consume(q, vector)`` — vectors are *not* retained here.
+
+        Resolution order per target: cached vector (no walk), the
+        retained resumable window (extended in batch), then the cache's
+        single-column resume path — in unbounded mode for any target
+        that fell out of the block, in bounded mode for targets whose
+        spilled state can be extended (``0 < resumable_level <=
+        level``).  Whatever remains is walked in throwaway chunks of at
+        most ``max_cols`` columns; only the first ``max_cols`` columns'
+        worth of chunks stay alive as repack candidates, the rest donate
+        their columns to the cache (the spill) and are dropped as soon
+        as their vectors are consumed, so the round's live walk blocks
+        stay ``O(max_block_bytes)`` no matter how large the active set
+        is.
+        """
+        cache = self._cache
+        self._round_chunks = []
+        self._walked = {}
+        resident: List[int] = []
+        resume: List[int] = []
+        pending: List[int] = []
+        for q in active:
+            if cache is not None:
+                cached = cache.peek(q, level)
+                if cached is not None:
+                    consume(q, cached)
+                    continue
+            if self._state is not None and q in self._state_cols:
+                resident.append(q)
+            elif cache is not None and (
+                (self._max_cols is None and self._state is not None)
+                or 0 < cache.resumable_level(q) <= level
+            ):
+                resume.append(q)
+            else:
+                pending.append(q)
+        if self._state is None and pending:
+            # Cold start: the first walking round claims residency.
+            claim = (
+                pending if self._max_cols is None else pending[: self._max_cols]
+            )
+            pending = pending[len(claim):]
+            self._state = WalkState(self._engine, self._params, claim)
+            self._state_cols = {q: j for j, q in enumerate(claim)}
+            resident = claim
+        if self._state is not None:
+            if resident:
+                self._state.advance_to(level)
+            self._round_chunks.append(
+                (self._state, [int(t) for t in self._state.targets])
+            )
+            for q in resident:
+                column = self._state_cols[q]
+                self._walked[q] = (self._state, column)
+                vector = self._state.score_column(column)
+                if cache is not None:
+                    cache.put_scores(q, level, vector)
+                consume(q, vector)
+        for q in resume:
+            # The peek above already recorded this miss; scores() resumes
+            # the cache's single-column state (adopted spill or earlier
+            # donation), paying only the missing steps.
+            consume(q, cache.scores(q, level, count_stats=False))
+        if pending:  # bounded-mode overflow (or cache-less cold targets)
+            width = self._max_cols if self._max_cols is not None else len(pending)
+            candidate_cols = 0
+            for start in range(0, len(pending), width):
+                group = pending[start : start + width]
+                chunk = WalkState(self._engine, self._params, group)
+                chunk.advance_to(level)
+                retain = self._max_cols is None or candidate_cols < self._max_cols
+                if retain:
+                    candidate_cols += len(group)
+                    self._round_chunks.append((chunk, group))
+                for j, q in enumerate(group):
+                    if retain:
+                        self._walked[q] = (chunk, j)
+                    vector = chunk.score_column(j)
+                    if cache is not None:
+                        cache.put_scores(q, level, vector)
+                    consume(q, vector)
+                if not retain:
+                    # Survivors of this chunk are not known until the
+                    # pruning step, by which time the chunk is gone —
+                    # spill every column now; pruned ones simply age out
+                    # of the cache's LRU.
+                    self._spill(chunk, range(len(group)))
+
+    def donate_pruned(self, pruned: Iterable[int]) -> None:
+        """Donate pruned targets' walked columns to the cache, so later
+        (deeper) joins resume them instead of restarting."""
+        if self._cache is None:
+            return
+        for q in pruned:
+            held = self._walked.get(q)
+            if held is not None:
+                holder, column = held
+                self._cache.adopt(holder.extract_column(column))
+
+    def repack(self, survivors: set, level: int) -> None:
+        """Narrow this round's walked blocks and fold them into the next
+        retained window.
+
+        Unbounded mode has a single part (the full-width block):
+        narrowing it in place preserves the original behaviour,
+        including the no-copy fast path when nothing was pruned from the
+        block.  Bounded mode packs survivor columns — window first, then
+        this round's throwaway chunks — until the ``max_cols`` budget is
+        full; the overflow survivors are spilled to the cache (resumed
+        next level) or, cache-less, dropped and re-walked.  Only parts
+        at this round's ``level`` are concatenated (the window can lag a
+        round when all its targets were cache-served); a lagging window
+        is kept only when nothing newer survived, and spilled otherwise.
+        """
+        narrowed: List[Tuple[WalkState, List[int]]] = []
+        for st, targets in self._round_chunks:
+            kept_cols = [j for j, q in enumerate(targets) if q in survivors]
+            if not kept_cols:
+                continue
+            kept_targets = [targets[j] for j in kept_cols]
+            if len(kept_cols) != st.width:
+                st = st.select(kept_cols)
+            narrowed.append((st, kept_targets))
+        if not narrowed:
+            self._state, self._state_cols = None, {}
+            return
+        current = [p for p in narrowed if p[0].level == level]
+        if not current:
+            current = narrowed[:1]
+        current_ids = {id(p[0]) for p in current}
+        pieces: List[WalkState] = []
+        packed: List[int] = []
+        for st, targs in current:
+            if self._max_cols is not None:
+                room = self._max_cols - len(packed)
+                if room <= 0:
+                    self._spill(st, range(st.width))
+                    continue
+                if len(targs) > room:
+                    self._spill(st, range(room, st.width))
+                    st = st.select(list(range(room)))
+                    targs = targs[:room]
+            pieces.append(st)
+            packed.extend(targs)
+        for st, _ in narrowed:  # lagging parts superseded by newer chunks
+            if id(st) not in current_ids:
+                self._spill(st, range(st.width))
+        self._state = pieces[0] if len(pieces) == 1 else WalkState.concat(pieces)
+        self._state_cols = {q: j for j, q in enumerate(packed)}
+
+    def _spill(self, state: WalkState, columns: Iterable[int]) -> None:
+        """Donate the given columns' resumable states to the cache."""
+        if self._cache is None:
+            return
+        for j in columns:
+            self._cache.adopt(state.extract_column(j))

@@ -26,10 +26,13 @@ shares this accumulation order.
 A state's buffers cost 16 bytes per node per column (two ``(n, B)``
 float64 blocks); :meth:`WalkState.advance_to` reports each
 materialisation to ``engine.stats.peak_block_bytes``, the counter a
-``max_block_bytes`` ceiling (``B-IDJ``'s chunked rounds) is audited
-against.  :meth:`WalkState.select` narrows a block to surviving columns
+``max_block_bytes`` ceiling (the deepening joins' chunked rounds) is
+audited against.  :meth:`WalkState.select` narrows a block to surviving
+columns, :meth:`WalkState.extract_column` copies one out (cache
+adoption — including the bounded rounds' spill of overflow survivors),
 and :meth:`WalkState.concat` re-packs same-level blocks — together they
-let ``B-IDJ`` keep its resumable window under a byte budget.
+let :class:`~repro.walks.rounds.DeepeningRounds` keep the resumable
+window of ``B-IDJ`` *and* ``Series-IDJ`` under a byte budget.
 """
 
 from __future__ import annotations

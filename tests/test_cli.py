@@ -57,6 +57,23 @@ class TestTwoWayCommand:
         assert code == 0
         assert json.loads(capsys.readouterr().out)
 
+    def test_measure_with_max_block_bytes(self, workspace, capsys):
+        """The bounded-memory flag applies to series measures too, and
+        a capped run returns the same pairs as an unbounded one."""
+        graph_path, sets_path = workspace
+        base = [
+            "two-way", str(graph_path), "--sets", str(sets_path),
+            "--left", "A", "--right", "B", "-k", "3",
+            "--measure", "ppr", "--json",
+        ]
+        assert main(base) == 0
+        free = json.loads(capsys.readouterr().out)
+        assert main(base + ["--max-block-bytes", "400"]) == 0
+        capped = json.loads(capsys.readouterr().out)
+        assert [(p["left"], p["right"]) for p in capped] == [
+            (p["left"], p["right"]) for p in free
+        ]
+
     def test_unknown_set_name(self, workspace, capsys):
         graph_path, sets_path = workspace
         code = main([

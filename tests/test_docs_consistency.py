@@ -115,6 +115,9 @@ def test_bench_report_not_stale():
     assert payload.get("workloads"), "report must carry walk rows"
     assert payload.get("bound_cache"), "schema 2 reports carry bound rows"
     assert payload.get("measures"), "schema 3 reports carry measure rows"
+    assert payload.get("bounded_series"), (
+        "schema 4 reports carry bounded-series rows"
+    )
 
 
 def test_bench_report_claims_hold():
@@ -128,6 +131,16 @@ def test_bench_report_claims_hold():
         assert row["pj_bound_builds_unshared"] >= 2 * row["pj_bound_builds_shared"]
         assert row["bidj_ceiling_honored"]
         assert row["bidj_peak_block_bytes"] <= row["bidj_max_block_bytes"]
+        assert row["bidj_spill_outputs_match"] and row["bidj_spill_ceiling_honored"]
+        assert row["bidj_spill_extensions"] > 0
+        assert row["bidj_spill_steps"] < row["bidj_chunked_steps"]
+    bounded_measures = set()
+    for row in payload["bounded_series"]:
+        bounded_measures.add(row["measure"])
+        assert row["outputs_match"] and row["ceiling_honored"]
+        assert row["bounded_peak_block_bytes"] < row["unbounded_peak_block_bytes"]
+        assert row["spill_extensions"] > 0 and row["spill_steps_saved"] > 0
+    assert {"ppr", "dht"} <= bounded_measures
     measures_seen = set()
     for row in payload["measures"]:
         measures_seen.add(row["measure"])

@@ -31,10 +31,17 @@ from repro.extensions.series_join import (
 from repro.extensions.simrank import (
     SimRankJoin,
     SimRankMeasure,
+    _in_weight_matrix,
+    _in_weight_matrix_reference,
     simrank_matrix,
     simrank_multi_way_join,
 )
-from repro.graph.builders import complete_graph, path_graph
+from repro.graph.builders import (
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment,
+)
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError
 from repro.walks.cache import WalkCache
@@ -215,6 +222,99 @@ class TestSimRank:
             simrank_multi_way_join(
                 random_graph, QueryGraph.chain(2), [[0]], k=1
             )
+
+
+class TestInWeightMatrix:
+    """The vectorised in-weight builder against the seed dict loop."""
+
+    @pytest.mark.parametrize("weighted", [True, False])
+    def test_bit_identical_to_reference(self, random_graph, weighted):
+        got = _in_weight_matrix(random_graph, weighted)
+        ref = _in_weight_matrix_reference(random_graph, weighted)
+        assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("weighted", [True, False])
+    def test_bit_identical_on_hub_graph(self, weighted):
+        graph = preferential_attachment(200, 3, np.random.default_rng(7))
+        assert np.array_equal(
+            _in_weight_matrix(graph, weighted),
+            _in_weight_matrix_reference(graph, weighted),
+        )
+
+    @pytest.mark.parametrize("weighted", [True, False])
+    def test_bit_identical_on_directed_weighted(self, tiny_directed, weighted):
+        assert np.array_equal(
+            _in_weight_matrix(tiny_directed, weighted),
+            _in_weight_matrix_reference(tiny_directed, weighted),
+        )
+
+    @pytest.mark.parametrize("weighted", [True, False])
+    def test_bit_identical_on_shuffled_edge_order(self, weighted):
+        """Adjacency insertion order (an arbitrary on-disk edge-list
+        order) dictates the reference's float summation order; the
+        vectorised builder must reproduce it exactly."""
+        rng = np.random.default_rng(13)
+        base = erdos_renyi(60, 0.15, rng, weighted=True)
+        edges = list(base.edges())
+        rng.shuffle(edges)
+        graph = Graph(base.num_nodes, edges)
+        assert np.array_equal(
+            _in_weight_matrix(graph, weighted),
+            _in_weight_matrix_reference(graph, weighted),
+        )
+
+    def test_empty_and_edgeless_graphs(self):
+        assert _in_weight_matrix(Graph(0, []), True).shape == (0, 0)
+        assert np.array_equal(
+            _in_weight_matrix(Graph(3, []), True), np.zeros((3, 3))
+        )
+
+    def test_columns_are_stochastic_or_zero(self, random_graph):
+        w = _in_weight_matrix(random_graph, True)
+        sums = w.sum(axis=0)
+        assert np.all(
+            np.isclose(sums, 1.0, atol=1e-12) | np.isclose(sums, 0.0)
+        )
+
+
+class TestSimRankIterateEviction:
+    """The iterate memo is capped: deepest kept, shallower LRU-evicted."""
+
+    def test_cap_holds_and_evictions_counted(self, random_graph):
+        measure = SimRankMeasure(iterations=10, max_cached_iterates=2)
+        engine = WalkEngine(random_graph)
+        for level in (1, 2, 4, 8, 10):
+            measure.backward_scores(engine, 3, level)
+        assert len(measure._iterates) <= 2
+        assert measure.stats.iterate_evictions > 0
+        # The deepest iterate is always retained for future resumes.
+        assert max(measure._iterates) == 10
+
+    def test_scores_unchanged_by_eviction(self, random_graph):
+        capped = SimRankMeasure(iterations=10, max_cached_iterates=1)
+        roomy = SimRankMeasure(iterations=10, max_cached_iterates=64)
+        engine = WalkEngine(random_graph)
+        # Interleave shallow and deep requests so the capped measure
+        # must recompute evicted iterates from the identity.
+        for level in (4, 1, 8, 2, 10, 4):
+            assert np.array_equal(
+                capped.backward_scores(engine, 5, level),
+                roomy.backward_scores(engine, 5, level),
+            )
+        assert capped.stats.sweeps > roomy.stats.sweeps  # recomputation
+        assert roomy.stats.iterate_evictions == 0
+
+    def test_deep_request_still_resumes_deepest(self, random_graph):
+        measure = SimRankMeasure(iterations=12, max_cached_iterates=1)
+        engine = WalkEngine(random_graph)
+        measure.backward_scores(engine, 0, 8)
+        measure.stats.reset()
+        measure.backward_scores(engine, 0, 12)
+        assert measure.stats.sweeps == 4  # resumed, not restarted
+
+    def test_validation(self):
+        with pytest.raises(GraphValidationError, match="max_cached_iterates"):
+            SimRankMeasure(max_cached_iterates=0)
 
 
 def _pairs_key(pairs):
@@ -449,11 +549,22 @@ class TestMeasureCacheIsolation:
             dht_cache.adopt(ppr_state)
 
     def test_simrank_cache_never_adopts_states(self, random_graph, params):
+        """Regression: a matrix-backed cache used to misreport adoption
+        as a *kernel mismatch*; the real reason is that the measure has
+        no resumable walk layer at all."""
         engine = WalkEngine(random_graph)
         sim_cache = WalkCache(engine, SimRankMeasure().cache_key())
         dht_state = WalkState(engine, params, [3]).advance_to(2)
-        with pytest.raises(GraphValidationError, match="different measure kernel"):
+        with pytest.raises(
+            GraphValidationError, match="no resumable walk layer"
+        ):
             sim_cache.adopt(dht_state)
+        # A genuine kernel mismatch still reports as one.
+        ppr_cache = WalkCache(engine, TruncatedPPR().cache_key())
+        with pytest.raises(
+            GraphValidationError, match="different measure kernel"
+        ):
+            ppr_cache.adopt(dht_state)
 
     def test_same_graph_same_params_key_distinct_universes(self, random_graph):
         """A DHT spec and a PPR spec on one graph share nothing, even
@@ -539,12 +650,30 @@ class TestMeasureRegistryAndApi:
         with pytest.raises(GraphValidationError, match="DHT-only options"):
             two_way_join(random_graph, [0], [5], k=1, measure="ppr", epsilon=1e-8)
         with pytest.raises(GraphValidationError, match="DHT-only options"):
-            two_way_join(
-                random_graph, [0], [5], k=1, measure="ppr",
-                max_block_bytes=1 << 20,
-            )
-        with pytest.raises(GraphValidationError, match="DHT-only options"):
             multi_way_join(
                 random_graph, QueryGraph.chain(2), [[0], [5]], k=1,
                 measure="ppr", d=4,
             )
+
+    def test_api_accepts_max_block_bytes_under_measure(self, random_graph):
+        """``max_block_bytes`` stopped being DHT-only: the bounded-memory
+        chunked rounds run under any measure, with identical output."""
+        from repro.api import multi_way_join, two_way_join
+
+        left, right = [0, 1, 2], [10, 11, 12, 13, 14]
+        free = two_way_join(random_graph, left, right, k=4, measure="ppr")
+        capped = two_way_join(
+            random_graph, left, right, k=4, measure="ppr",
+            max_block_bytes=16 * random_graph.num_nodes,
+        )
+        assert _pairs_key(capped) == _pairs_key(free)
+        sets = [[0, 1, 2], [10, 11, 12]]
+        query = QueryGraph.chain(2)
+        free_answers = multi_way_join(
+            random_graph, query, sets, k=3, measure="ppr"
+        )
+        capped_answers = multi_way_join(
+            random_graph, query, sets, k=3, measure="ppr",
+            max_block_bytes=16 * random_graph.num_nodes,
+        )
+        assert _answers_key(capped_answers) == _answers_key(free_answers)
