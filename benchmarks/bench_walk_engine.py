@@ -26,6 +26,12 @@ degree-aware kernel):
   row per (topology, size) for PPR and for the DHT measure adapter —
   identical top-k and pruning traces vs. the unbounded run,
   ``peak_block_bytes`` under the ceiling, nonzero spill resumes;
+* governed budget quality (schema 5, ``budget_quality`` section): the
+  ``B-IDJ-Y`` join re-run under ``QueryBudget`` step budgets at fixed
+  fractions of the full run's step count — top-k recall vs. the
+  ungoverned reference, with every returned score interval checked to
+  contain the pair's exact ``B-BJ`` score; the full-budget row must
+  come back exact with recall 1.0;
 * the measure-generic stack (schema 3): batched vs. per-target PPR
   scoring (``Series-B-BJ`` wall clock + identical-output check),
   resumable vs. restart ``Series-IDJ`` step counts, and per-measure
@@ -46,11 +52,13 @@ benchmarks.
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 
 import numpy as np
 
+from repro.api import two_way_join
 from repro.bench.harness import (
     WALK_BENCH_SCHEMA_VERSION,
     speedup,
@@ -62,6 +70,7 @@ from repro.core.nway.query_graph import QueryGraph
 from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.backward import BackwardBasicJoin, BackwardIDJY
 from repro.core.two_way.base import make_context
+from repro.exec.budget import QueryBudget
 from repro.extensions.measures import DHTMeasure, TruncatedPPR
 from repro.extensions.series_join import (
     SeriesAllPairsJoin,
@@ -99,6 +108,9 @@ MEASURE_SET_SIZE = 48
 SIMRANK_NODES = 400
 SIMRANK_SET_SIZE = 32
 SIMRANK_ITERATIONS = 8
+# Governed budget-quality sweep: step budgets as fractions of the
+# ungoverned run's propagation-step count.
+BUDGET_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0)
 REPORT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_walks.json",
@@ -381,6 +393,64 @@ def bench_bounded_series(
     }
 
 
+def bench_budget_quality(topology: str, num_nodes: int) -> list:
+    """Governed top-k quality vs. step budget (schema 5).
+
+    One ungoverned ``B-IDJ-Y`` run fixes the full step count and the
+    reference top-k; each fraction then re-runs the join under a
+    ``QueryBudget`` capped at that share of the steps.  Rows record
+    top-k recall against the reference plus the soundness bit every
+    governed path must keep: each returned ``(lower, upper)`` interval
+    contains the pair's exact ``B-BJ`` score, partial or not.
+    """
+    graph, left, right = _workload(topology, num_nodes)
+    ctx = make_context(graph, left, right, d=8)
+    ctx.engine.stats.reset()
+    reference = BackwardIDJY(ctx).top_k(K)
+    full_steps = ctx.engine.stats.propagation_steps
+    reference_pairs = {(p.left, p.right) for p in reference}
+    oracle = {
+        (p.left, p.right): p.score
+        for p in BackwardBasicJoin(
+            make_context(graph, left, right, d=8)
+        ).all_pairs()
+    }
+    rows = []
+    for fraction in BUDGET_FRACTIONS:
+        if fraction >= 1.0:
+            # Checkpoints trip on steps_used >= budget; one step of
+            # headroom lets the full-budget run finish exactly.
+            step_budget = full_steps + 1
+        else:
+            step_budget = max(1, math.ceil(fraction * full_steps))
+        result = two_way_join(
+            graph, left, right, K,
+            budget=QueryBudget(step_budget=step_budget),
+        )
+        returned = {(p.left, p.right) for p in result.results}
+        recall = len(returned & reference_pairs) / float(len(reference_pairs))
+        contains = all(
+            lower - 1e-9 <= oracle.get((p.left, p.right), 0.0) <= upper + 1e-9
+            for p, (lower, upper) in zip(result.results, result.bounds)
+        )
+        rows.append({
+            "topology": topology,
+            "nodes": num_nodes,
+            "edges": graph.num_edges,
+            "set_size": SET_SIZE,
+            "d": 8,
+            "k": K,
+            "full_steps": full_steps,
+            "step_budget_fraction": fraction,
+            "step_budget": step_budget,
+            "recall_at_k": recall,
+            "exact": bool(result.exact),
+            "reason": result.reason,
+            "bounds_contain_reference": bool(contains),
+        })
+    return rows
+
+
 def _pairs_match(a, b) -> bool:
     a, b = sorted(a), sorted(b)
     return len(a) == len(b) and all(
@@ -535,6 +605,7 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
     bound_cache_results = []
     measure_results = []
     bounded_series_results = []
+    budget_quality_results = []
     for topology in TOPOLOGIES:
         for num_nodes in sizes:
             row = bench_size(topology, num_nodes, repeats=repeats)
@@ -583,6 +654,19 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                     f"{bs_row['spill_steps_saved']} steps saved, "
                     f"match={bs_row['outputs_match']})"
                 )
+            bq_rows = bench_budget_quality(topology, num_nodes)
+            budget_quality_results.extend(bq_rows)
+            curve = ", ".join(
+                f"{row['step_budget_fraction']:.2f}:"
+                f"{row['recall_at_k']:.2f}{'*' if row['exact'] else ''}"
+                for row in bq_rows
+            )
+            print(
+                f"{topology:>12} n={num_nodes:>6}  "
+                f"governed recall@{K} vs step-budget fraction "
+                f"[{curve}] (*, exact; bounds sound="
+                f"{all(r['bounds_contain_reference'] for r in bq_rows)})"
+            )
             m_row = bench_measure_ppr(topology, num_nodes, repeats=repeats)
             measure_results.append(m_row)
             print(
@@ -612,6 +696,7 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
         "bound_cache": bound_cache_results,
         "measures": measure_results,
         "bounded_series": bounded_series_results,
+        "budget_quality": budget_quality_results,
     }
     write_json_report(report_path, payload)
     print(f"wrote {report_path}")
@@ -664,6 +749,24 @@ def test_bounded_series_spill_oracle_match():
             ], label
             assert row["spill_extensions"] > 0, label
             assert row["spill_steps_saved"] > 0, label
+
+
+def test_budget_quality_recall_curve():
+    """CI smoke bar for the governed path: the full-budget row is exact
+    with recall 1.0, every interval contains the oracle score, and the
+    starved rows come back flagged (never wrong, never raising)."""
+    for topology in TOPOLOGIES:
+        rows = bench_budget_quality(topology, SMOKE_SIZES[0])
+        assert [r["step_budget_fraction"] for r in rows] == list(BUDGET_FRACTIONS)
+        for row in rows:
+            assert row["bounds_contain_reference"], row
+            assert row["exact"] == (row["reason"] is None), row
+            assert 0.0 <= row["recall_at_k"] <= 1.0, row
+        full = rows[-1]
+        assert full["exact"] and full["recall_at_k"] == 1.0, full
+        partial = [r for r in rows if not r["exact"]]
+        assert partial, topology  # starved fractions must actually stop
+        assert all(r["reason"] == "steps" for r in partial), topology
 
 
 def test_measure_rows_equivalent_with_cache_hits():

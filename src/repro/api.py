@@ -18,6 +18,16 @@ instance — and route non-DHT measures to the measure-generic joins of
 resumable / cached walk-and-bound stack (Section VIII's future-work
 plan).  DHT names keep the tuned core algorithms and the
 ``params``/``d``/``epsilon`` configuration.
+
+Both also accept a :class:`repro.exec.budget.QueryBudget`.  With a
+budget (or a fault injector) the query runs *governed*: an
+:class:`~repro.exec.governor.ExecutionGovernor` enforces the budget at
+cooperative checkpoints and the return type becomes a
+:class:`~repro.exec.budget.PartialResult` — exact with degenerate
+bounds when the join completed, flagged (``exact=False`` plus a
+reason and per-result score intervals) when the budget ran out under
+the default ``on_budget="partial"`` policy.  Without a budget the
+plain list return types below are unchanged.
 """
 
 from __future__ import annotations
@@ -35,10 +45,19 @@ from repro.core.nway.partial_join_inc import PartialJoinIncremental
 from repro.core.nway.query_graph import QueryGraph
 from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.base import ScoredPair, make_context
+from repro.exec.budget import PartialResult, QueryBudget
+from repro.exec.governor import ExecutionGovernor
 from repro.extensions.measures import measure_by_name
 from repro.extensions.series_join import (
+    SeriesBackwardJoin,
+    SeriesIDJ,
+    make_series_context,
     series_multi_way_join,
     series_two_way_join,
+)
+from repro.exec.governed import (
+    run_governed_multi_way,
+    run_governed_top_k,
 )
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError
@@ -72,6 +91,26 @@ def _reject_dht_options_under_measure(resolved, **options) -> None:
         )
 
 
+def _governed_multi_way(
+    spec: NWayJoinSpec,
+    algorithm: str,
+    m: int,
+    budget: Optional[QueryBudget],
+    on_budget: str,
+    fault_injector,
+) -> PartialResult:
+    """Install a governor on the spec's engine and run the budgeted join."""
+    governor = ExecutionGovernor(
+        budget, fault_injector=fault_injector
+    ).install(spec.engine, spec.walk_cache)
+    try:
+        return run_governed_multi_way(
+            spec, governor, algorithm=algorithm, m=m, on_budget=on_budget
+        )
+    finally:
+        governor.uninstall()
+
+
 # The core 2-way names have measure-generic counterparts where the
 # algorithmic idea carries over; forward processing does not (it relies
 # on per-pair absorbing walks, a DHT-specific kernel).
@@ -98,7 +137,10 @@ def two_way_join(
     bound_cache: Optional[BoundPlanCache] = None,
     max_block_bytes: Optional[int] = None,
     measure: Optional[Union[str, object]] = None,
-) -> List[ScoredPair]:
+    budget: Optional[QueryBudget] = None,
+    on_budget: str = "partial",
+    fault_injector=None,
+) -> Union[List[ScoredPair], PartialResult]:
     """Top-``k`` 2-way join between node sets ``left`` and ``right``.
 
     Parameters
@@ -131,13 +173,25 @@ def two_way_join(
         Optional byte ceiling on the deepening join's resumable walk
         block (``B-IDJ`` and ``Series-IDJ`` alike); see
         :class:`~repro.core.two_way.base.TwoWayContext`.
+    budget / on_budget / fault_injector:
+        A :class:`~repro.exec.budget.QueryBudget` (deadline, step
+        budget, byte ceiling) switches the call to governed execution
+        and a :class:`~repro.exec.budget.PartialResult` return type.
+        ``on_budget`` chooses what exhaustion does: ``"partial"``
+        (default) returns best-effort results with score intervals,
+        ``"error"`` raises :class:`~repro.exec.budget.BudgetExhaustedError`.
+        ``fault_injector`` installs a seeded
+        :class:`~repro.exec.faults.FaultInjector` (also governed, even
+        without a budget).
 
     Returns
     -------
     list of ScoredPair
-        At most ``k`` pairs in descending score order.
+        At most ``k`` pairs in descending score order — or, governed, a
+        :class:`~repro.exec.budget.PartialResult` wrapping them.
     """
     resolved = _resolve_measure(measure)
+    governed = budget is not None or fault_injector is not None
     if resolved is not None:
         name = algorithm.lower()
         if name not in _SERIES_TWO_WAY:
@@ -148,6 +202,25 @@ def two_way_join(
         _reject_dht_options_under_measure(
             resolved, params=params, d=d, epsilon=epsilon,
         )
+        if governed:
+            context = make_series_context(
+                graph, resolved, left, right, engine=engine,
+                walk_cache=walk_cache, bound_cache=bound_cache,
+                max_block_bytes=max_block_bytes,
+            )
+            cls = (
+                SeriesBackwardJoin
+                if _SERIES_TWO_WAY[name] == "basic"
+                else SeriesIDJ
+            )
+            join = cls.from_context(context)
+            governor = ExecutionGovernor(
+                budget, fault_injector=fault_injector
+            ).install(context.engine, context.walk_cache)
+            try:
+                return run_governed_top_k(join, k, governor, on_budget)
+            finally:
+                governor.uninstall()
         return series_two_way_join(
             graph, left, right, k,
             measure=resolved,
@@ -163,7 +236,16 @@ def two_way_join(
         max_block_bytes=max_block_bytes,
     )
     algorithm_cls = two_way_algorithm_by_name(algorithm)
-    return algorithm_cls(context).top_k(k)
+    join = algorithm_cls(context)
+    if governed:
+        governor = ExecutionGovernor(
+            budget, fault_injector=fault_injector
+        ).install(context.engine, context.walk_cache)
+        try:
+            return run_governed_top_k(join, k, governor, on_budget)
+        finally:
+            governor.uninstall()
+    return join.top_k(k)
 
 
 _NWAY_ALGORITHMS = ("nl", "ap", "pj", "pj-i")
@@ -184,8 +266,12 @@ def multi_way_join(
     share_walks: bool = True,
     share_bounds: bool = True,
     max_block_bytes: Optional[int] = None,
+    walk_cache_bytes: Optional[int] = None,
     measure: Optional[Union[str, object]] = None,
-) -> List[CandidateAnswer]:
+    budget: Optional[QueryBudget] = None,
+    on_budget: str = "partial",
+    fault_injector=None,
+) -> Union[List[CandidateAnswer], PartialResult]:
     """Top-``k`` n-way join over ``query_graph`` (Definition 4).
 
     Parameters
@@ -219,14 +305,28 @@ def multi_way_join(
     max_block_bytes:
         Optional byte ceiling on each edge's resumable walk block; see
         :class:`~repro.core.two_way.base.TwoWayContext`.
+    walk_cache_bytes:
+        Optional byte budget for the shared walk cache (strict
+        least-recently-used eviction over retained vectors and
+        resumable buffers); see :class:`~repro.walks.cache.WalkCache`.
+    budget / on_budget / fault_injector:
+        Same semantics as :func:`two_way_join`: a budget (or injector)
+        switches to governed execution and a
+        :class:`~repro.exec.budget.PartialResult` return type whose
+        per-answer bounds aggregate the per-edge score intervals.
+        Governed ``"pj-i"`` runs the governed ``PJ`` restart path
+        (incremental refinement keeps no snapshot state); ``"nl"`` is
+        rejected under a budget.
 
     Returns
     -------
     list of CandidateAnswer
         At most ``k`` answers in descending aggregate-score order; each
-        carries its node tuple and per-edge scores.
+        carries its node tuple and per-edge scores — or, governed, a
+        :class:`~repro.exec.budget.PartialResult` wrapping them.
     """
     resolved = _resolve_measure(measure)
+    governed = budget is not None or fault_injector is not None
     if resolved is not None:
         name = algorithm.lower()
         if name not in ("ap", "pj", "pj-i"):
@@ -237,6 +337,23 @@ def multi_way_join(
         _reject_dht_options_under_measure(
             resolved, params=params, d=d, epsilon=epsilon,
         )
+        if governed:
+            spec = NWayJoinSpec(
+                graph=graph,
+                query_graph=query_graph,
+                node_sets=[list(nodes) for nodes in node_sets],
+                k=k,
+                aggregate=aggregate,
+                engine=engine,
+                measure=resolved,
+                share_walks=share_walks,
+                share_bounds=share_bounds,
+                max_block_bytes=max_block_bytes,
+                walk_cache_bytes=walk_cache_bytes,
+            )
+            return _governed_multi_way(
+                spec, name, m, budget, on_budget, fault_injector
+            )
         return series_multi_way_join(
             graph, query_graph, node_sets, k,
             measure=resolved,
@@ -261,8 +378,13 @@ def multi_way_join(
         share_walks=share_walks,
         share_bounds=share_bounds,
         max_block_bytes=max_block_bytes,
+        walk_cache_bytes=walk_cache_bytes,
     )
     name = algorithm.lower()
+    if governed:
+        return _governed_multi_way(
+            spec, name, m, budget, on_budget, fault_injector
+        )
     if name == "nl":
         return NestedLoopJoin(spec).run()
     if name == "ap":

@@ -32,6 +32,12 @@ from repro.api import multi_way_join, two_way_join
 from repro.core.dht import DHTParams
 from repro.core.nway.aggregates import aggregate_by_name
 from repro.core.nway.query_graph import QueryGraph
+from repro.exec.budget import (
+    ON_BUDGET_POLICIES,
+    BudgetExhaustedError,
+    PartialResult,
+    QueryBudget,
+)
 from repro.extensions.measures import TruncatedPPR
 from repro.extensions.simrank import SimRankMeasure
 from repro.graph.io import read_edge_list, read_node_sets
@@ -76,6 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
                  "chunked rounds with walk-cache spill; default "
                  "unbounded)",
         )
+        p.add_argument(
+            "--deadline-ms", type=float, default=None,
+            help="wall-clock budget in milliseconds; on exhaustion the "
+                 "join returns flagged best-effort results with score "
+                 "intervals (see --on-budget)",
+        )
+        p.add_argument(
+            "--step-budget", type=int, default=None,
+            help="propagation-step budget (batching-invariant "
+                 "column-steps); same exhaustion semantics as "
+                 "--deadline-ms",
+        )
+        p.add_argument(
+            "--on-budget", choices=ON_BUDGET_POLICIES, default="partial",
+            help="what budget exhaustion does: 'partial' (default) "
+                 "returns best-effort results flagged exact=false, "
+                 "'error' exits with status 3",
+        )
         p.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON")
 
@@ -115,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("graph")
     stats.add_argument("--json", action="store_true", dest="as_json")
     return parser
+
+
+def _budget(args) -> Optional[QueryBudget]:
+    """The ``QueryBudget`` selected by the flags, or ``None`` (ungoverned)."""
+    if args.deadline_ms is None and args.step_budget is None:
+        return None
+    return QueryBudget(
+        deadline_ms=args.deadline_ms, step_budget=args.step_budget
+    )
+
+
+def _unwrap(result):
+    """Split an API return into (items, partial-or-None)."""
+    if isinstance(result, PartialResult):
+        return result.results, result
+    return result, None
 
 
 def _dht_params(args) -> DHTParams:
@@ -163,25 +203,42 @@ def _run_two_way(args) -> int:
     graph = read_edge_list(args.graph)
     left, right = _resolve_sets(args.sets, [args.left, args.right])
     measure = _series_measure(args)
+    budget = _budget(args)
     if measure is not None:
-        pairs = two_way_join(
+        result = two_way_join(
             graph, left, right, k=args.k,
             algorithm=args.algorithm,
             measure=measure,
             max_block_bytes=args.max_block_bytes,
+            budget=budget, on_budget=args.on_budget,
         )
     else:
-        pairs = two_way_join(
+        result = two_way_join(
             graph, left, right, k=args.k,
             algorithm=args.algorithm,
             params=_dht_params(args), epsilon=args.epsilon,
             max_block_bytes=args.max_block_bytes,
+            budget=budget, on_budget=args.on_budget,
         )
+    pairs, partial = _unwrap(result)
     if args.as_json:
-        print(json.dumps(
-            [{"left": p.left, "right": p.right, "score": p.score} for p in pairs]
-        ))
+        rows = [
+            {"left": p.left, "right": p.right, "score": p.score} for p in pairs
+        ]
+        if partial is not None:
+            for row, (lower, upper) in zip(rows, partial.bounds):
+                row["lower"] = lower
+                row["upper"] = upper
+            print(json.dumps(
+                {"exact": partial.exact, "reason": partial.reason,
+                 "results": rows}
+            ))
+        else:
+            print(json.dumps(rows))
     else:
+        if partial is not None and not partial.exact:
+            print(f"# partial result (budget exhausted: {partial.reason}); "
+                  f"scores are lower bounds")
         for rank, pair in enumerate(pairs, start=1):
             print(f"{rank:>4}  ({pair.left}, {pair.right})  h_d = {pair.score:+.6f}")
     return 0
@@ -194,8 +251,9 @@ def _run_multi_way(args) -> int:
         args.shape, len(sets), args.bidirectional, args.node_sets
     )
     measure = _series_measure(args)
+    budget = _budget(args)
     if measure is not None:
-        answers = multi_way_join(
+        result = multi_way_join(
             graph, query, sets, k=args.k,
             algorithm=args.algorithm,
             aggregate=aggregate_by_name(args.aggregate),
@@ -204,9 +262,10 @@ def _run_multi_way(args) -> int:
             share_walks=args.share_walks,
             share_bounds=args.share_bounds,
             max_block_bytes=args.max_block_bytes,
+            budget=budget, on_budget=args.on_budget,
         )
     else:
-        answers = multi_way_join(
+        result = multi_way_join(
             graph, query, sets, k=args.k,
             algorithm=args.algorithm,
             aggregate=aggregate_by_name(args.aggregate),
@@ -215,19 +274,32 @@ def _run_multi_way(args) -> int:
             share_walks=args.share_walks,
             share_bounds=args.share_bounds,
             max_block_bytes=args.max_block_bytes,
+            budget=budget, on_budget=args.on_budget,
         )
+    answers, partial = _unwrap(result)
     if args.as_json:
-        print(json.dumps(
-            [
-                {
-                    "nodes": list(a.nodes),
-                    "score": a.score,
-                    "edge_scores": list(a.edge_scores),
-                }
-                for a in answers
-            ]
-        ))
+        rows = [
+            {
+                "nodes": list(a.nodes),
+                "score": a.score,
+                "edge_scores": list(a.edge_scores),
+            }
+            for a in answers
+        ]
+        if partial is not None:
+            for row, (lower, upper) in zip(rows, partial.bounds):
+                row["lower"] = lower
+                row["upper"] = upper
+            print(json.dumps(
+                {"exact": partial.exact, "reason": partial.reason,
+                 "results": rows}
+            ))
+        else:
+            print(json.dumps(rows))
     else:
+        if partial is not None and not partial.exact:
+            print(f"# partial result (budget exhausted: {partial.reason}); "
+                  f"scores are lower bounds")
         for rank, answer in enumerate(answers, start=1):
             nodes = ", ".join(str(u) for u in answer.nodes)
             print(f"{rank:>4}  ({nodes})  f = {answer.score:+.6f}")
@@ -255,6 +327,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "multi-way":
             return _run_multi_way(args)
         return _run_stats(args)
+    except BudgetExhaustedError as exc:
+        # --on-budget error: exhaustion is an explicit failure mode,
+        # distinct from usage errors.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except (GraphValidationError, FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

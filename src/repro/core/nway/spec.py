@@ -60,6 +60,12 @@ class NWayJoinSpec:
         specs — which switch to bounded-memory chunked rounds with
         walk-cache spill under it (see
         :class:`~repro.core.two_way.base.TwoWayContext`).
+    walk_cache_bytes:
+        Optional byte budget for the automatically created shared walk
+        cache (ignored when an explicit ``walk_cache`` is passed): the
+        cache evicts least-recent targets until its retained vectors and
+        resumable buffers fit, so a long n-way join's cache footprint is
+        bounded no matter how many targets its edges touch.
     measure:
         Optional :class:`repro.extensions.measures.SeriesMeasure`
         (duck-typed; the core layer never imports ``extensions``).
@@ -88,6 +94,7 @@ class NWayJoinSpec:
     bound_cache: Optional[BoundPlanCache] = None
     share_bounds: bool = True
     max_block_bytes: Optional[int] = None
+    walk_cache_bytes: Optional[int] = None
     measure: Optional[object] = None
 
     def __post_init__(self) -> None:
@@ -125,7 +132,9 @@ class NWayJoinSpec:
             self.measure.cache_key() if self.measure is not None else self.params
         )
         if self.walk_cache is None and self.share_walks:
-            self.walk_cache = WalkCache(self.engine, key_params)
+            self.walk_cache = WalkCache(
+                self.engine, key_params, max_bytes=self.walk_cache_bytes
+            )
         if self.bound_cache is None and self.share_bounds:
             self.bound_cache = BoundPlanCache(self.engine, key_params)
         if self.max_block_bytes is not None and self.max_block_bytes < 1:
@@ -146,6 +155,7 @@ class NWayJoinSpec:
         and ``max_block_bytes`` ceiling reach each edge uniformly.
         """
         left, right = self.edge_node_sets(edge_index)
+        self.engine.checkpoint("edge")
         return TwoWayContext(
             graph=self.graph,
             params=self.params,

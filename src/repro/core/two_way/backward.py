@@ -44,8 +44,9 @@ from repro.core.two_way.base import (
     kth_largest,
     top_k_pairs,
 )
+from repro.exec.budget import CorruptedWalkError
 from repro.graph.validation import GraphValidationError
-from repro.walks.rounds import DeepeningRounds, columns_for_budget
+from repro.walks.rounds import REWALK_ATTEMPTS, DeepeningRounds, columns_for_budget
 from repro.walks.state import WalkState
 
 # 16 columns keeps the dense mass block cache-resident on large graphs
@@ -230,6 +231,14 @@ def _block_scores_at_rows(
         mass = engine.backward_block_step(mass, targets, first=False)
         acc += params.decay ** i * mass[base, :]
     scores = params.alpha * acc + params.beta
+    governor = engine.governor
+    if governor is not None and governor.validate_walks:
+        # This path has no WalkState (whose advance validates for us), so
+        # guard the accumulated scores before they reach any result list.
+        if not np.isfinite(scores).all():
+            raise CorruptedWalkError(
+                "non-finite block scores detected in restricted-row scoring"
+            )
     return scores[np.searchsorted(base, rows), :]
 
 
@@ -276,12 +285,16 @@ class BackwardBasicJoin:
             block_size = min(block_size, cap)
         self._ctx = context
         self._block_size = block_size
+        # Exact-score pairs accumulated so far; the governed entry points
+        # read this after a budget stop to report the completed prefix.
+        self.partial_pairs: Optional[List[ScoredPair]] = None
 
     def all_pairs(self) -> List[ScoredPair]:
         """Score every candidate pair (unsorted)."""
         ctx = self._ctx
         if self._block_size == 1:
             pairs: List[ScoredPair] = []
+            self.partial_pairs = pairs
             for q in ctx.right:
                 scores = back_walk(ctx, q, ctx.d)
                 pairs.extend(ctx.pairs_for_target(scores, q))
@@ -305,9 +318,10 @@ class BackwardBasicJoin:
             ctx.left, ctx.d, lambda: _RestrictedTail(ctx, left)
         )
         pairs: List[ScoredPair] = []
+        self.partial_pairs = pairs
         for start in range(0, len(ctx.right), self._block_size):
             chunk = ctx.right[start : start + self._block_size]
-            scores = _block_scores_at_rows(ctx, chunk, left, tail)
+            scores = self._chunk_scores_with_retry(chunk, left, tail)
             for j, q in enumerate(chunk):
                 values = scores[:, j].tolist()
                 pairs.extend(
@@ -316,6 +330,17 @@ class BackwardBasicJoin:
                     if p != q
                 )
         return pairs
+
+    def _chunk_scores_with_retry(self, chunk, left, tail) -> np.ndarray:
+        """Score one target chunk, re-running it on detected corruption."""
+        for attempt in range(REWALK_ATTEMPTS):
+            try:
+                return _block_scores_at_rows(self._ctx, chunk, left, tail)
+            except CorruptedWalkError:
+                self._ctx.engine.stats.degradations += 1
+                if attempt == REWALK_ATTEMPTS - 1:
+                    raise
+        raise AssertionError("unreachable")
 
     def _all_pairs_cached(self) -> List[ScoredPair]:
         """Batched scoring through the shared walk cache.
@@ -328,10 +353,23 @@ class BackwardBasicJoin:
         ctx = self._ctx
         cache = ctx.walk_cache
         pairs: List[ScoredPair] = []
+        self.partial_pairs = pairs
         pending: List[int] = []
 
+        def walk_pending() -> WalkState:
+            for attempt in range(REWALK_ATTEMPTS):
+                try:
+                    return WalkState(
+                        ctx.engine, ctx.params, pending
+                    ).advance_to(ctx.d)
+                except CorruptedWalkError:
+                    ctx.engine.stats.degradations += 1
+                    if attempt == REWALK_ATTEMPTS - 1:
+                        raise
+            raise AssertionError("unreachable")
+
         def flush() -> None:
-            state = WalkState(ctx.engine, ctx.params, pending).advance_to(ctx.d)
+            state = walk_pending()
             for j, q in enumerate(pending):
                 vector = state.score_column(j)
                 cache.put_scores(q, ctx.d, vector)
@@ -470,6 +508,10 @@ class BackwardIDJ:
         self._observer = observer
         self._max_block_bytes = max_block_bytes
         self.pruning_trace: List[dict] = []
+        # Threshold-state snapshot of the last *completed* deepening
+        # round; the governed entry points turn it into a partial result
+        # with sound [h_l, h_l + tail_l] intervals after a budget stop.
+        self.budget_snapshot: Optional[dict] = None
 
     def top_k(self, k: int) -> List[ScoredPair]:
         """Top-``k`` pairs with iterative-deepening pruning on ``Q``."""
@@ -478,6 +520,7 @@ class BackwardIDJ:
         if k == 0:
             return []
         ctx = self._ctx
+        self.budget_snapshot = None
         bound = self._bound_factory(ctx)
         self.pruning_trace = []
         left = ctx.left_array
@@ -489,6 +532,7 @@ class BackwardIDJ:
 
         level = 1
         while level < ctx.d:
+            ctx.engine.checkpoint("round")
             # The seed's per-p Python loop, vectorised: gather the left
             # rows of every column as its vector streams past, mask
             # reflexive pairs, take column maxima, and feed informative
@@ -508,6 +552,16 @@ class BackwardIDJ:
                 left_scores[:, j] = vector[left]
 
             rounds.walk_level(active, level, gather)
+            # Snapshot only after every column of this round has been
+            # gathered: h_level is a monotone lower bound and tail_level
+            # a sound upper increment for every then-active target.
+            self.budget_snapshot = {
+                "level": level,
+                "targets": list(active),
+                "left": list(ctx.left),
+                "left_scores": left_scores,
+                "tails": tails,
+            }
             valid = left[:, None] != targets_arr[None, :]
             floor = BoundedTopK(k)
             # Algorithm 2, step 7: only informative lower bounds (pairs
@@ -533,6 +587,7 @@ class BackwardIDJ:
             active = surviving
             level *= 2
 
+        ctx.engine.checkpoint("round")
         pairs: List[ScoredPair] = []
 
         def emit(q, vector):

@@ -158,8 +158,10 @@ class TwoWayContext:
         basic joins (``B-BJ`` / ``Series-B-BJ``) clamp their block
         width under it; ``None`` (default) keeps the full-width /
         default-width blocks.  A ceiling below the cost of one column
-        (``16 * num_nodes``) is honoured as single-column chunks — the
-        smallest block the propagation can run.
+        (``16 * num_nodes``) is infeasible — a single column is the
+        smallest block the propagation can run — and raises a
+        ``ValueError`` naming the minimum budget when a join derives
+        its block layout from it.
     measure:
         Optional :class:`repro.extensions.measures.SeriesMeasure`
         (duck-typed — the core layer never imports ``extensions``).

@@ -1,0 +1,131 @@
+"""Deterministic, seeded fault injection at governor checkpoints.
+
+The :class:`FaultInjector` plugs into an
+:class:`~repro.exec.governor.ExecutionGovernor` and fires synthetic
+faults at the cooperative checkpoint sites the governor already visits:
+
+``"alloc"``
+    Raise :class:`InjectedAllocationError` (a ``MemoryError``) — the
+    deepening rounds respond with the adaptive window backoff.
+``"nan"``
+    Poison one entry of the in-flight walk block with ``NaN`` — the
+    walk-state validation detects the corruption before the block can
+    reach a cache or a result and triggers a fresh re-walk.
+``"evict"``
+    Clear the governor's walk cache (an eviction storm) — subsequent
+    rounds must re-walk instead of resuming, with unchanged output.
+``"clock"``
+    Jump the governor's clock forward — a query with a deadline stops
+    with a flagged partial result.
+
+All randomness comes from one seeded generator, so a run with the same
+seed, faults, and workload fires the same faults at the same checkpoints
+and produces bit-identical results — the property the fault-matrix tests
+assert.  The injector is bounded by ``max_fires``; recovery paths retry
+a bounded number of times, so an injector configured to fire unboundedly
+at every checkpoint models a permanently broken environment and is
+allowed to surface its error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+FAULT_KINDS = ("alloc", "nan", "evict", "clock")
+
+
+class InjectedAllocationError(MemoryError):
+    """A synthetic allocation failure raised by the injector."""
+
+
+class FaultInjector:
+    """Fires seeded faults at governor checkpoints.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal generator; identical seeds replay
+        identical fault schedules on identical workloads.
+    faults:
+        Subset of :data:`FAULT_KINDS` to draw from.
+    rate:
+        Probability of firing at each armed checkpoint.
+    start_after:
+        Number of initial checkpoints to leave untouched, so faults land
+        mid-query rather than before any work happened.
+    max_fires:
+        Cap on the total number of fired faults (``None`` = unbounded).
+    sites:
+        Optional restriction to specific checkpoint sites
+        (``"block"``/``"alloc"``/``"step"``/``"round"``/``"edge"``).
+    clock_jump:
+        Seconds added to the governor clock by a ``"clock"`` fault.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        faults: Sequence[str] = FAULT_KINDS,
+        rate: float = 0.05,
+        start_after: int = 0,
+        max_fires: Optional[int] = 1,
+        sites: Optional[Sequence[str]] = None,
+        clock_jump: float = 3600.0,
+    ) -> None:
+        self._faults = tuple(faults)
+        unknown = set(self._faults) - set(FAULT_KINDS)
+        if not self._faults or unknown:
+            raise ValueError(
+                f"faults must be a non-empty subset of {FAULT_KINDS}; got {faults!r}"
+            )
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        self._rng = np.random.default_rng(seed)
+        self._rate = float(rate)
+        self._start_after = int(start_after)
+        self._max_fires = max_fires
+        self._sites = tuple(sites) if sites is not None else None
+        self._clock_jump = float(clock_jump)
+        self._seen = 0
+        #: Log of fired faults as ``(checkpoint_index, site, fault)``;
+        #: compared across runs by the determinism tests.
+        self.fired: List[Tuple[int, str, str]] = []
+
+    @property
+    def checkpoints_seen(self) -> int:
+        """Total checkpoints observed (fired or not)."""
+        return self._seen
+
+    def fire(self, site: str, governor, block=None) -> None:
+        """Possibly fire one fault at this checkpoint.
+
+        ``block`` is the in-flight walk block when the site has one
+        (``"nan"`` faults need something to poison and otherwise pass).
+        """
+        self._seen += 1
+        if self._seen <= self._start_after:
+            return
+        if self._max_fires is not None and len(self.fired) >= self._max_fires:
+            return
+        if self._sites is not None and site not in self._sites:
+            return
+        if float(self._rng.random()) >= self._rate:
+            return
+        fault = self._faults[int(self._rng.integers(len(self._faults)))]
+        if fault == "nan" and block is None:
+            return  # nothing to poison at this site
+        self.fired.append((self._seen, site, fault))
+        if fault == "alloc":
+            raise InjectedAllocationError(
+                f"injected allocation failure at checkpoint {self._seen} ({site})"
+            )
+        if fault == "nan":
+            block[block.shape[0] // 2, 0] = np.nan
+        elif fault == "evict":
+            cache = governor.walk_cache
+            if cache is not None:
+                cache.clear()
+        elif fault == "clock":
+            governor.jump_clock(self._clock_jump)

@@ -1,0 +1,314 @@
+"""Governed entry points: budgets in, exact-or-flagged-partial out.
+
+This module wraps the join layers under an installed
+:class:`~repro.exec.governor.ExecutionGovernor`.  The contract every
+wrapper upholds — and the fault-injection matrix asserts — is:
+
+* a join that runs to completion returns an ``exact`` result with
+  degenerate ``(score, score)`` bounds;
+* a budget stop (deadline / steps / bytes) never raises under the
+  default ``on_budget="partial"`` policy: the wrapper converts the
+  join's own threshold state into a :class:`~repro.exec.budget.PartialResult`
+  whose per-result intervals are guaranteed to contain the exact scores;
+* ``on_budget="error"`` re-raises the
+  :class:`~repro.exec.budget.BudgetExhaustedError` instead, after
+  counting the stop.
+
+The partial-result intervals come from two sources, in preference
+order:
+
+``budget_snapshot``
+    The iterative-deepening joins (``B-IDJ`` and ``Series-IDJ``) record
+    the last *completed* round — every then-active target's gathered
+    left-row scores ``h_l(p, q)`` plus that round's tail bound.  By
+    monotonicity ``h_l`` is a lower bound on ``h_d`` and
+    ``h_l + tail_l`` a sound upper bound, so
+    ``[h_l, h_l + tail_l]`` contains the oracle score.  Targets pruned
+    at earlier rounds were proved unable to reach the top-``k`` by the
+    same bound, so excluding them keeps the best-effort ranking sound.
+``partial_pairs``
+    The basic joins score pairs exhaustively; the pairs finished before
+    the stop carry exact scores (degenerate intervals) — the result is
+    partial only in *coverage*, never in per-pair accuracy.
+
+The n-way wrapper aggregates per-edge intervals componentwise: for a
+monotone aggregate ``f``, ``[f(lo_1..lo_n), f(hi_1..hi_n)]`` contains
+``f(exact_1..exact_n)`` whenever each ``[lo_e, hi_e]`` contains
+``exact_e``.
+
+This module imports the join layers, so it is deliberately *not*
+re-exported from :mod:`repro.exec`'s ``__init__`` — import it directly
+(``from repro.exec.governed import run_governed_top_k``) to keep the
+walk layer's ``repro.exec.budget`` dependency cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.nway.partial_join import _RestartProvider, two_way_algorithm_by_name
+from repro.core.nway.spec import NWayJoinSpec
+from repro.core.two_way.backward import BackwardBasicJoin
+from repro.core.two_way.base import ScoredPair
+from repro.exec.budget import (
+    ON_BUDGET_POLICIES,
+    BudgetExhaustedError,
+    PartialResult,
+    exact_result,
+)
+from repro.exec.governor import ExecutionGovernor
+from repro.extensions.series_join import (
+    SeriesBackwardJoin,
+    SeriesIDJ,
+    _SeriesRestartProvider,
+)
+from repro.graph.validation import GraphValidationError
+from repro.rankjoin.inputs import LazyInput, MaterializedInput
+from repro.rankjoin.pbrj import PBRJ
+
+Interval = Tuple[float, float]
+
+
+def _check_policy(on_budget: str) -> None:
+    if on_budget not in ON_BUDGET_POLICIES:
+        raise GraphValidationError(
+            f"unknown on_budget policy {on_budget!r}; "
+            f"choose from {ON_BUDGET_POLICIES}"
+        )
+
+
+def _snapshot_partial(join, k: int, reason: str) -> PartialResult:
+    """Best-effort top-``k`` from a stopped join's threshold state."""
+    snapshot = getattr(join, "budget_snapshot", None)
+    if snapshot is not None:
+        left_scores = snapshot["left_scores"]
+        tails = snapshot["tails"]
+        entries: List[Tuple[ScoredPair, Interval]] = []
+        for j, q in enumerate(snapshot["targets"]):
+            tail = float(tails[j])
+            for i, p in enumerate(snapshot["left"]):
+                if p == q:
+                    continue
+                lower = float(left_scores[i, j])
+                entries.append((ScoredPair(p, q, lower), (lower, lower + tail)))
+        entries.sort(key=lambda e: (-e[0].score, e[0].left, e[0].right))
+        entries = entries[:k]
+        return PartialResult(
+            results=[pair for pair, _ in entries],
+            bounds=[interval for _, interval in entries],
+            exact=False,
+            reason=reason,
+        )
+    prefix = getattr(join, "partial_pairs", None)
+    if prefix:
+        pairs = sorted(prefix, key=lambda sp: (-sp.score, sp.left, sp.right))[:k]
+        return PartialResult(
+            results=pairs,
+            bounds=[(pair.score, pair.score) for pair in pairs],
+            exact=False,
+            reason=reason,
+        )
+    return PartialResult(results=[], bounds=[], exact=False, reason=reason)
+
+
+def run_governed_top_k(
+    join,
+    k: int,
+    governor: ExecutionGovernor,
+    on_budget: str = "partial",
+) -> PartialResult:
+    """``join.top_k(k)`` under the governor's budget.
+
+    Returns an exact :class:`PartialResult` when the join completes, a
+    flagged-partial one on exhaustion (``on_budget="partial"``), or
+    re-raises the :class:`BudgetExhaustedError` (``on_budget="error"``).
+    A genuine :class:`MemoryError` that survived the adaptive backoff is
+    treated as ``reason="bytes"`` exhaustion.
+    """
+    _check_policy(on_budget)
+    try:
+        return exact_result(join.top_k(k))
+    except BudgetExhaustedError as exc:
+        governor.count_budget_stop()
+        if on_budget == "error":
+            raise
+        return _snapshot_partial(join, k, exc.reason)
+    except MemoryError as exc:
+        governor.count_budget_stop()
+        if on_budget == "error":
+            raise BudgetExhaustedError(
+                "bytes", "allocation failed below the minimum window"
+            ) from exc
+        return _snapshot_partial(join, k, "bytes")
+
+
+def run_governed_all_pairs(
+    join,
+    governor: ExecutionGovernor,
+    on_budget: str = "partial",
+) -> PartialResult:
+    """``join.all_pairs()`` under the budget, sorted best-first.
+
+    The prefix scored before a stop carries exact scores, so the
+    partial result's intervals are degenerate — partial in coverage
+    only.
+    """
+    _check_policy(on_budget)
+    try:
+        pairs = sorted(
+            join.all_pairs(), key=lambda sp: (-sp.score, sp.left, sp.right)
+        )
+        return exact_result(pairs)
+    except BudgetExhaustedError as exc:
+        governor.count_budget_stop()
+        if on_budget == "error":
+            raise
+        return _snapshot_partial(join, len(join.partial_pairs or []), exc.reason)
+    except MemoryError as exc:
+        governor.count_budget_stop()
+        if on_budget == "error":
+            raise BudgetExhaustedError(
+                "bytes", "allocation failed below the minimum window"
+            ) from exc
+        return _snapshot_partial(join, len(join.partial_pairs or []), "bytes")
+
+
+def _edge_join(spec: NWayJoinSpec, context, algorithm: str, deepening: bool):
+    """The per-edge 2-way join object for a governed n-way strategy."""
+    if spec.measure is not None:
+        cls = SeriesIDJ if deepening else SeriesBackwardJoin
+        return cls.from_context(context)
+    if deepening:
+        return two_way_algorithm_by_name(algorithm)(context)
+    return BackwardBasicJoin(context)
+
+
+def run_governed_multi_way(
+    spec: NWayJoinSpec,
+    governor: ExecutionGovernor,
+    algorithm: str = "pj",
+    m: int = 50,
+    two_way: str = "b-idj-y",
+    on_budget: str = "partial",
+) -> PartialResult:
+    """A budgeted n-way join: ``PJ``-style prefixes or ``AP``.
+
+    ``algorithm`` is ``"pj"``/``"pj-i"`` (top-``m`` prefixes with
+    governed restart refills) or ``"ap"`` (governed full
+    materialisation); ``"nl"`` has no incremental state to snapshot and
+    is rejected under a budget.  Per-edge exhaustion never aborts the
+    join under ``on_budget="partial"``: the stopped edge contributes its
+    snapshot prefix (with intervals), its refills are disabled, and the
+    final answers are flagged partial with componentwise-aggregated
+    bounds.
+    """
+    _check_policy(on_budget)
+    name = algorithm.lower()
+    if name == "nl":
+        raise GraphValidationError(
+            "the NL strategy scores answers one tuple at a time and has no "
+            "resumable threshold state; use 'pj', 'pj-i', or 'ap' under a "
+            "query budget"
+        )
+    if name not in ("pj", "pj-i", "ap"):
+        raise GraphValidationError(
+            f"unknown n-way algorithm {algorithm!r}; "
+            f"choose from ('pj', 'pj-i', 'ap', 'nl')"
+        )
+    if spec.k == 0:
+        return PartialResult(results=[], bounds=[], exact=True)
+
+    reasons: List[str] = []
+    intervals = {}  # (edge, left, right) -> (lower, upper)
+    inputs = []
+    for e in range(spec.query_graph.num_edges):
+        edge_name = spec.query_graph.edge_name(e)
+        try:
+            context = spec.edge_context(e)
+        except BudgetExhaustedError as exc:
+            # The budget died before this edge even started: it
+            # contributes an empty stream (sound — no fabricated pairs).
+            governor.count_budget_stop()
+            reasons.append(exc.reason)
+            inputs.append(MaterializedInput([], name=edge_name))
+            continue
+        if name == "ap":
+            join = _edge_join(spec, context, two_way, deepening=False)
+            partial = run_governed_all_pairs(join, governor, on_budget="partial")
+            if not partial.exact:
+                reasons.append(partial.reason)
+            for pair, interval in zip(partial.results, partial.bounds):
+                intervals[(e, pair.left, pair.right)] = interval
+            inputs.append(MaterializedInput(partial.results, name=edge_name))
+            continue
+        if spec.measure is not None:
+            provider = _SeriesRestartProvider(context, m)
+        else:
+            provider = _RestartProvider(
+                context, two_way_algorithm_by_name(two_way), m
+            )
+        join = _edge_join(spec, context, two_way, deepening=True)
+        partial = run_governed_top_k(join, m, governor, on_budget="partial")
+        for pair, interval in zip(partial.results, partial.bounds):
+            intervals[(e, pair.left, pair.right)] = interval
+        if partial.exact:
+            def refill(provider=provider, e=e):
+                # A restart refill that hits the budget exhausts this
+                # input instead of erroring the whole rank join.
+                try:
+                    pair = provider.next_pair()
+                except BudgetExhaustedError as exc:
+                    governor.count_budget_stop()
+                    reasons.append(exc.reason)
+                    return None
+                except MemoryError:
+                    governor.count_budget_stop()
+                    reasons.append("bytes")
+                    return None
+                if pair is not None:
+                    intervals[(e, pair.left, pair.right)] = (pair.score, pair.score)
+                return pair
+            inputs.append(
+                LazyInput(partial.results, refill=refill, name=edge_name)
+            )
+        else:
+            # A snapshot prefix is ranked by lower bounds; a restart
+            # refill could emit a pair the prefix already contains,
+            # violating PBRJ's sorted-stream contract — so the stopped
+            # edge's stream ends at its prefix.
+            reasons.append(partial.reason)
+            inputs.append(MaterializedInput(partial.results, name=edge_name))
+
+    driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+    try:
+        answers = driver.run()
+    except BudgetExhaustedError as exc:
+        # Checkpoints inside cached-walk lookups can still fire during
+        # candidate expansion; the buffered answers so far are sound.
+        governor.count_budget_stop()
+        reasons.append(exc.reason)
+        answers = []
+
+    exact = not reasons
+    if not exact and on_budget == "error":
+        raise BudgetExhaustedError(reasons[0])
+
+    edges = spec.query_graph.edges
+    bounds: List[Interval] = []
+    for answer in answers:
+        lows: List[float] = []
+        highs: List[float] = []
+        for e, (i, j) in enumerate(edges):
+            pair_key = (e, answer.nodes[i], answer.nodes[j])
+            lower, upper = intervals.get(
+                pair_key, (answer.edge_scores[e], answer.edge_scores[e])
+            )
+            lows.append(lower)
+            highs.append(upper)
+        bounds.append((spec.aggregate(lows), spec.aggregate(highs)))
+    return PartialResult(
+        results=list(answers),
+        bounds=bounds,
+        exact=exact,
+        reason=None if exact else reasons[0],
+    )

@@ -1,0 +1,158 @@
+"""The execution governor: budget enforcement at cooperative checkpoints.
+
+An :class:`ExecutionGovernor` is installed on a
+:class:`~repro.walks.engine.WalkEngine` for the duration of one governed
+query.  The engine (and the join loops above it) call
+``engine.checkpoint(site, ...)`` at the natural unit-of-work boundaries:
+
+``"step"``
+    One propagation step of a series loop in the engine.
+``"block"``
+    Entry of a batched block step, with the in-flight block attached
+    (the fault injector's poisoning point).
+``"alloc"``
+    Just before a :class:`~repro.walks.state.WalkState` materialises its
+    buffers, with the predicted allocation size — the byte ceiling is
+    enforced *before* the memory is committed.
+``"round"``
+    Top of an iterative-deepening round (and each matrix-measure gather
+    group, which performs no engine steps).
+``"edge"``
+    Entry of :meth:`~repro.core.nway.spec.NWayJoinSpec.edge_context` —
+    the funnel every n-way strategy passes through per query edge.
+
+Each checkpoint increments ``stats.checkpoints``, gives the optional
+:class:`~repro.exec.faults.FaultInjector` a chance to fire, and checks
+the three budget axes, raising
+:class:`~repro.exec.budget.BudgetExhaustedError` (or its recoverable
+subclass :class:`~repro.exec.budget.MemoryBudgetExceeded` for
+over-ceiling blocks) on exhaustion.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.exec.budget import (
+    BudgetExhaustedError,
+    MemoryBudgetExceeded,
+    QueryBudget,
+)
+
+
+class ExecutionGovernor:
+    """Enforces a :class:`QueryBudget` and hosts the fault injector.
+
+    ``clock`` is injectable for deterministic deadline tests; the
+    ``"clock"`` fault advances :meth:`jump_clock` rather than sleeping.
+    ``validate_walks`` turns on the NaN walk-mass validation in
+    :class:`~repro.walks.state.WalkState`; it defaults to on whenever a
+    fault injector is present (validation is one ``isfinite`` reduction
+    per advanced block).
+    """
+
+    def __init__(
+        self,
+        budget: Optional[QueryBudget] = None,
+        clock: Callable[[], float] = time.monotonic,
+        fault_injector=None,
+        validate_walks: Optional[bool] = None,
+    ) -> None:
+        self.budget = budget if budget is not None else QueryBudget()
+        self._clock = clock
+        self._offset = 0.0
+        self.fault_injector = fault_injector
+        self.validate_walks = (
+            validate_walks if validate_walks is not None else fault_injector is not None
+        )
+        self._engine = None
+        self.walk_cache = None
+        self._deadline: Optional[float] = None
+        self._step_base = 0
+
+    # ------------------------------------------------------------------
+    # Installation
+
+    def install(self, engine, walk_cache=None) -> "ExecutionGovernor":
+        """Attach to ``engine`` and start the deadline/step baselines."""
+        engine.governor = self
+        self._engine = engine
+        self.walk_cache = walk_cache
+        self._step_base = engine.stats.propagation_steps
+        if self.budget.deadline_ms is not None:
+            self._deadline = self.now() + self.budget.deadline_ms / 1000.0
+        return self
+
+    def uninstall(self) -> None:
+        """Detach from the engine (subsequent runs are ungoverned)."""
+        if self._engine is not None and self._engine.governor is self:
+            self._engine.governor = None
+
+    @property
+    def engine(self):
+        """The engine this governor is installed on (``None`` before install)."""
+        return self._engine
+
+    @property
+    def stats(self):
+        """The installed engine's stats block."""
+        return self._engine.stats
+
+    # ------------------------------------------------------------------
+    # Clock
+
+    def now(self) -> float:
+        """Current governed time (base clock plus injected jumps)."""
+        return self._clock() + self._offset
+
+    def jump_clock(self, seconds: float) -> None:
+        """Advance the governed clock (used by the ``"clock"`` fault)."""
+        self._offset += float(seconds)
+
+    # ------------------------------------------------------------------
+    # Accounting
+
+    def steps_used(self) -> int:
+        """Propagation column-steps spent since installation."""
+        return self._engine.stats.propagation_steps - self._step_base
+
+    def count_budget_stop(self) -> None:
+        """Record that a governed entry point stopped on exhaustion."""
+        self._engine.stats.budget_stops += 1
+
+    # ------------------------------------------------------------------
+    # The checkpoint
+
+    def checkpoint(self, site: str, block=None, nbytes: Optional[int] = None) -> None:
+        """One cooperative checkpoint; raises on exhaustion.
+
+        ``block`` is the in-flight walk block (poisoning target) when
+        the site has one; ``nbytes`` is the predicted size of an
+        allocation about to happen, checked against ``max_bytes``
+        *before* the buffers are committed.
+        """
+        stats = self._engine.stats
+        stats.checkpoints += 1
+        if self.fault_injector is not None:
+            self.fault_injector.fire(site, self, block=block)
+        budget = self.budget
+        if (
+            nbytes is not None
+            and budget.max_bytes is not None
+            and nbytes > budget.max_bytes
+        ):
+            raise MemoryBudgetExceeded(nbytes, budget.max_bytes)
+        if (
+            budget.step_budget is not None
+            and self.steps_used() >= budget.step_budget
+        ):
+            raise BudgetExhaustedError(
+                "steps",
+                f"propagation-step budget of {budget.step_budget} exhausted",
+            )
+        if self._deadline is not None and self.now() >= self._deadline:
+            raise BudgetExhaustedError(
+                "deadline",
+                f"deadline of {budget.deadline_ms} ms exceeded",
+            )

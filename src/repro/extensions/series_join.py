@@ -45,6 +45,7 @@ from repro.core.nway.partial_join import PartialJoinStats
 from repro.core.nway.query_graph import QueryGraph
 from repro.core.nway.spec import NWayJoinSpec
 from repro.core.two_way.backward import DEFAULT_BLOCK_SIZE
+from repro.exec.budget import MemoryBudgetExceeded
 from repro.core.two_way.base import (
     BoundedTopK,
     ScoredPair,
@@ -177,6 +178,11 @@ class SeriesBackwardJoin:
         self._measure: SeriesMeasure = context.measure
         self._block_size = block_size
         self.pruning_trace: List[dict] = []
+        # Best-effort progress for the execution governor: the pairs
+        # scored so far (basic join) and the last fully-gathered
+        # deepening round (IDJ) — see repro.exec.governed.
+        self.partial_pairs: Optional[List[ScoredPair]] = None
+        self.budget_snapshot: Optional[dict] = None
 
     @property
     def context(self) -> TwoWayContext:
@@ -188,12 +194,14 @@ class SeriesBackwardJoin:
         ctx, measure = self._ctx, self._measure
         if self._block_size == 1:
             pairs: List[ScoredPair] = []
+            self.partial_pairs = pairs
             for q in ctx.right:
                 scores = measure.backward_scores(ctx.engine, q, measure.d)
                 pairs.extend(ctx.pairs_for_target(scores, q))
             return pairs
         cache = ctx.walk_cache
         pairs = []
+        self.partial_pairs = pairs
         pending: List[int] = []
 
         def flush() -> None:
@@ -275,6 +283,7 @@ class SeriesIDJ(SeriesBackwardJoin):
         left = ctx.left_array
         floor_value = measure.floor
         self.pruning_trace = []
+        self.budget_snapshot = None
 
         active: List[int] = list(ctx.right)
         rounds: Optional[DeepeningRounds] = None
@@ -293,6 +302,7 @@ class SeriesIDJ(SeriesBackwardJoin):
             bounded chunks).  Matrix-backed measures gather from the
             memoised iterate, chunked under the byte ceiling.
             """
+            nonlocal max_cols
             if rounds is not None:
                 rounds.walk_level(active, level, consume)
                 return
@@ -304,18 +314,35 @@ class SeriesIDJ(SeriesBackwardJoin):
                         consume(q, cached)
                         continue
                 pending.append(q)
-            width = len(pending) if max_cols is None else max_cols
-            for start in range(0, len(pending), max(width, 1)):
-                group = pending[start : start + width]
-                block = measure.backward_scores_block(engine, group, level)
+            while pending:
+                width = len(pending) if max_cols is None else max_cols
+                group = pending[: max(width, 1)]
+                try:
+                    engine.checkpoint("round")
+                    block = measure.backward_scores_block(engine, group, level)
+                except (MemoryError, MemoryBudgetExceeded):
+                    # Adaptive backoff, the matrix-measure twin of the
+                    # rounds-layer split: halve the gather width and
+                    # retry; a single-column failure is genuine
+                    # exhaustion.
+                    if len(group) == 1:
+                        raise
+                    half = max(1, len(group) // 2)
+                    engine.stats.alloc_retries += 1
+                    engine.stats.degradations += 1
+                    if max_cols is None or half < max_cols:
+                        max_cols = half
+                    continue
                 for j, q in enumerate(group):
                     vector = block[:, j]
                     if cache is not None:
                         cache.put_scores(q, level, vector)
                     consume(q, vector)
+                del pending[: len(group)]
 
         level = 1
         while level < measure.d:
+            engine.checkpoint("round")
             width = len(active)
             targets_arr = np.asarray(active, dtype=np.int64)
             tails = np.array([bound.tail(level, q) for q in active])
@@ -326,6 +353,17 @@ class SeriesIDJ(SeriesBackwardJoin):
                 left_scores[:, column_of[q]] = vector[left]
 
             walk_level(level, gather)
+            # Every column of this round gathered: h_level is a monotone
+            # lower bound and tail(level) a sound upper increment, so a
+            # budget stop after this point can emit flagged-partial
+            # results with oracle-containing intervals.
+            self.budget_snapshot = {
+                "level": level,
+                "targets": list(active),
+                "left": list(ctx.left),
+                "left_scores": left_scores,
+                "tails": tails,
+            }
             valid = left[:, None] != targets_arr[None, :]
             floor_acc = BoundedTopK(k)
             # Only informative lower bounds (a nonzero statistic within
@@ -352,6 +390,7 @@ class SeriesIDJ(SeriesBackwardJoin):
             active = surviving
             level *= 2
 
+        engine.checkpoint("round")
         pairs: List[ScoredPair] = []
 
         def emit(q, vector):

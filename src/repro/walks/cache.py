@@ -18,7 +18,9 @@ One cache per ``(graph, measure)``: entries of different measures never
 share a cache, which :class:`repro.core.two_way.base.TwoWayContext`
 validates and :meth:`WalkCache.adopt` enforces for donated states.
 
-Two layers per target, bounded by an LRU over targets:
+Two layers per target, bounded by an LRU over targets (and, when
+``max_bytes`` is set, by a strict byte-denominated LRU budget over the
+retained vectors and resumable buffers):
 
 * finished score vectors keyed by walk level — exact repeats are O(n)
   copies;
@@ -45,6 +47,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
+from repro.exec.budget import CorruptedWalkError
 from repro.graph.validation import GraphValidationError
 from repro.walks.engine import WalkEngine
 from repro.walks.kernels import as_block_kernel
@@ -98,19 +101,38 @@ class WalkCache:
     max_targets:
         LRU bound on the number of distinct targets retained (each
         target costs a few length-``n`` float64 vectors).
+    max_bytes:
+        Optional byte-denominated LRU budget over everything the cache
+        retains (score vectors plus resumable-state buffers).  The bound
+        is strict: least-recent targets are evicted until the total fits,
+        and an entry that alone exceeds the budget is dropped outright —
+        ``current_bytes <= max_bytes`` always holds, which makes the
+        bounded joins' spill policy and the governor's byte ceiling
+        end-to-end true.
     """
 
     def __init__(
-        self, engine: WalkEngine, params: "DHTParams | object", max_targets: int = 256
+        self,
+        engine: WalkEngine,
+        params: "DHTParams | object",
+        max_targets: int = 256,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if max_targets < 1:
             raise GraphValidationError(
                 f"max_targets must be >= 1, got {max_targets}"
             )
+        if max_bytes is not None and max_bytes < 1:
+            raise GraphValidationError(
+                f"max_bytes must be >= 1 when set, got {max_bytes}"
+            )
         self._engine = engine
         self._params = params
         self._max_targets = max_targets
+        self._max_bytes = max_bytes
         self._entries: "OrderedDict[int, _TargetEntry]" = OrderedDict()
+        self._entry_bytes: Dict[int, int] = {}
+        self._total_bytes = 0
         self.stats = WalkCacheStats()
 
     @property
@@ -128,6 +150,16 @@ class WalkCache:
         """LRU capacity in distinct targets."""
         return self._max_targets
 
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Byte-denominated LRU budget (``None`` = targets-only bound)."""
+        return self._max_bytes
+
+    @property
+    def current_bytes(self) -> int:
+        """Bytes currently retained (vectors + resumable buffers)."""
+        return self._total_bytes
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -137,6 +169,8 @@ class WalkCache:
     def clear(self) -> None:
         """Drop every cached walk (stats are kept)."""
         self._entries.clear()
+        self._entry_bytes.clear()
+        self._total_bytes = 0
 
     # ------------------------------------------------------------------
     # Lookup / compute
@@ -196,21 +230,36 @@ class WalkCache:
                 return vector.copy()
         entry = self._ensure_entry(target)
         state = entry.state
+        resumed_from = 0
         if state is not None and state.level <= level:
-            if state.level > 0:
-                self.stats.extensions += 1
-                self.stats.steps_saved += state.level
-                # Mirror the resume into the engine currency so spill
-                # resumes are visible next to propagation_steps.
-                self._engine.stats.extensions += 1
-                self._engine.stats.steps_saved += state.level
+            resumed_from = state.level
         else:
             state = WalkState(self._engine, self._params, [target])
-        state.advance_to(level)
+        try:
+            state.advance_to(level)
+        except CorruptedWalkError:
+            # Poisoned buffers cannot be trusted at *any* level: drop the
+            # retained state and re-walk from scratch (a counted
+            # degradation).  A second corruption propagates to the
+            # rounds-layer retry.
+            self._engine.stats.degradations += 1
+            entry.state = None
+            self._account(target)
+            resumed_from = 0
+            state = WalkState(self._engine, self._params, [target])
+            state.advance_to(level)
+        if resumed_from > 0:
+            self.stats.extensions += 1
+            self.stats.steps_saved += resumed_from
+            # Mirror the resume into the engine currency so spill
+            # resumes are visible next to propagation_steps.
+            self._engine.stats.extensions += 1
+            self._engine.stats.steps_saved += resumed_from
         if entry.state is None or state.level >= entry.state.level:
             entry.state = state
         vector = state.score_column(0)
         entry.scores[level] = vector
+        self._account(target)
         self._evict()
         return vector.copy()
 
@@ -227,6 +276,7 @@ class WalkCache:
         """
         entry = self._ensure_entry(target)
         entry.scores[level] = np.array(scores, dtype=np.float64, copy=True)
+        self._account(target)
         self._evict()
 
     def adopt(self, state: WalkState) -> None:
@@ -265,6 +315,7 @@ class WalkCache:
         entry = self._ensure_entry(target)
         if entry.state is None or state.level > entry.state.level:
             entry.state = state
+        self._account(target)
         self._evict()
 
     # ------------------------------------------------------------------
@@ -280,7 +331,34 @@ class WalkCache:
             self._entries.move_to_end(target)
         return entry
 
+    @staticmethod
+    def _entry_nbytes(entry: _TargetEntry) -> int:
+        total = sum(vector.nbytes for vector in entry.scores.values())
+        if entry.state is not None:
+            total += entry.state.nbytes
+        return total
+
+    def _account(self, target: int) -> None:
+        """Refresh the byte bookkeeping for one (mutated) entry."""
+        entry = self._entries.get(target)
+        if entry is None:
+            return
+        nbytes = self._entry_nbytes(entry)
+        self._total_bytes += nbytes - self._entry_bytes.get(target, 0)
+        self._entry_bytes[target] = nbytes
+
     def _evict(self) -> None:
         while len(self._entries) > self._max_targets:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self._pop_lru()
+        if self._max_bytes is not None:
+            # Strict byte bound: evict least-recent targets until the
+            # total fits — including, if need be, the entry that was just
+            # touched (one entry bigger than the whole budget must not
+            # stay resident).
+            while self._entries and self._total_bytes > self._max_bytes:
+                self._pop_lru()
+
+    def _pop_lru(self) -> None:
+        target, _ = self._entries.popitem(last=False)
+        self._total_bytes -= self._entry_bytes.pop(target, 0)
+        self.stats.evictions += 1

@@ -84,6 +84,14 @@ class WalkEngineStats:
     are resumed from it at the next deepening level — shows up here:
     steps the drop-and-re-walk policy would have restarted become
     ``steps_saved``.
+
+    The governed-execution counters make every degradation observable:
+    ``checkpoints`` counts cooperative governor checkpoints visited,
+    ``budget_stops`` counts joins that stopped on budget exhaustion and
+    returned a partial result, ``degradations`` counts every graceful
+    fallback (window backoffs, corrupted-block re-walks), and
+    ``alloc_retries`` counts the subset of degradations that were
+    allocation-failure retries of the adaptive window backoff.
     """
 
     propagation_steps: int = 0
@@ -95,6 +103,10 @@ class WalkEngineStats:
     peak_block_bytes: int = 0
     extensions: int = 0
     steps_saved: int = 0
+    checkpoints: int = 0
+    budget_stops: int = 0
+    degradations: int = 0
+    alloc_retries: int = 0
 
     def record_block_bytes(self, nbytes: int) -> None:
         """Raise the resumable-block high-water mark to ``nbytes``."""
@@ -112,6 +124,10 @@ class WalkEngineStats:
         self.peak_block_bytes = 0
         self.extensions = 0
         self.steps_saved = 0
+        self.checkpoints = 0
+        self.budget_stops = 0
+        self.degradations = 0
+        self.alloc_retries = 0
 
 
 class WalkEngine:
@@ -129,6 +145,9 @@ class WalkEngine:
         self._transition_csc = None
         self._in_degrees = None
         self.stats = WalkEngineStats()
+        # Installed by repro.exec.ExecutionGovernor for governed queries;
+        # None means every checkpoint() call is a no-op.
+        self.governor = None
 
     @property
     def graph(self) -> Graph:
@@ -139,6 +158,18 @@ class WalkEngine:
     def num_nodes(self) -> int:
         """Number of nodes in the bound graph."""
         return self._n
+
+    def checkpoint(self, site: str, block=None, nbytes=None) -> None:
+        """Cooperative budget/fault checkpoint (no-op without a governor).
+
+        ``site`` names the unit-of-work boundary (see
+        :mod:`repro.exec.governor`); ``block`` is an in-flight walk
+        block the fault injector may poison; ``nbytes`` is a predicted
+        allocation size checked against the byte budget before the
+        buffers are committed.
+        """
+        if self.governor is not None:
+            self.governor.checkpoint(site, block=block, nbytes=nbytes)
 
     # ------------------------------------------------------------------
     # Backward propagation (Eq. 5)
@@ -172,6 +203,7 @@ class WalkEngine:
         back_prob = np.zeros(self._n, dtype=np.float64)
         back_prob[target] = 1.0
         for i in range(steps):
+            self.checkpoint("step")
             if i > 0:
                 # A walker must not pass *through* the target: zero the
                 # mass that already arrived before propagating further.
@@ -224,6 +256,7 @@ class WalkEngine:
         ``P_1``.
         """
         targets = self._check_target_block(targets)
+        self.checkpoint("block")
         mass = self._gather_columns(self.transition_columns(), targets)
         self.stats.propagation_steps += targets.shape[0]
         self.stats.sparse_products += 1
@@ -240,6 +273,10 @@ class WalkEngine:
         :class:`repro.walks.state.WalkState`.
         """
         width = mass.shape[1]
+        # Checkpoint before any mutation: a budget stop or injected
+        # allocation failure here leaves the caller's state consistent
+        # (the step has neither zeroed targets nor been counted).
+        self.checkpoint("block", block=mass)
         if not first:
             mass[targets, np.arange(width)] = 0.0
         out = self._transition.dot(mass)
@@ -276,6 +313,7 @@ class WalkEngine:
         mass = np.zeros(self._n, dtype=np.float64)
         mass[source] = 1.0
         for i in range(steps):
+            self.checkpoint("step")
             mass[target] = 0.0
             mass = self._transition_t.dot(mass)
             hits[i] = mass[target]
@@ -309,6 +347,7 @@ class WalkEngine:
             raise GraphValidationError("reach_mass_series needs at least one source")
         series = np.empty((steps, self._n), dtype=np.float64)
         for i in range(steps):
+            self.checkpoint("step")
             mass = self._transition_t.dot(mass)
             series[i] = mass
         self.stats.propagation_steps += steps

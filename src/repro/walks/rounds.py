@@ -29,6 +29,19 @@ into :class:`~repro.walks.engine.WalkEngineStats`).  Without a cache
 there is nowhere to spill, and overflow survivors restart per level as
 before.
 
+**Adaptive backoff** (the governed robustness layer): an allocation
+failure (a real ``MemoryError`` or an injected one) or an over-ceiling
+block flagged by the execution governor
+(:class:`~repro.exec.budget.MemoryBudgetExceeded`) does not abort the
+round.  The failing block is split in half, the window capacity is
+halved for the rest of the query, and the halves retry — a bounded,
+counted backoff (``alloc_retries`` / ``degradations`` in
+:class:`~repro.walks.engine.WalkEngineStats`) that bottoms out at
+single-column blocks, where a failure is genuine exhaustion and
+propagates.  A block whose mass validation detects corruption
+(:class:`~repro.exec.budget.CorruptedWalkError`, e.g. an injected NaN)
+is discarded and re-walked fresh a bounded number of times.
+
 Scores are bit-identical across all modes (Eq. 5 columns propagate
 independently and the prefix accumulation order is fixed), so the
 joins' top-``k`` outputs and pruning traces never depend on the memory
@@ -42,9 +55,15 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exec.budget import CorruptedWalkError, MemoryBudgetExceeded
 from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
 from repro.walks.state import WalkState
+
+# Bounded attempts at re-walking a corrupted block before giving up; a
+# walk that keeps producing non-finite mass is a broken environment, not
+# a transient fault.
+REWALK_ATTEMPTS = 3
 
 # A resumable block costs two (n, B) float64 buffers: walker mass plus
 # the accumulated score prefix.
@@ -54,15 +73,26 @@ Consumer = Callable[[int, np.ndarray], None]
 
 
 def columns_for_budget(max_block_bytes: int, num_nodes: int) -> int:
-    """Widest block whose buffers fit ``max_block_bytes``, floored at 1.
+    """Widest block whose buffers fit ``max_block_bytes``.
 
     The single source of the block-layout cost model — every clamp in
     the join stack (window width, chunk width, ``B-BJ`` block width)
     derives from it, so a layout change cannot desynchronise them.
-    A budget below one column's cost degrades to single-column blocks,
-    the smallest the propagation can run.
+    A budget below one column's cost is infeasible: a single column is
+    the smallest block the propagation can run, so pretending to honour
+    a smaller ceiling would silently overshoot it.  The error names the
+    minimum feasible budget so callers can fix their configuration.
     """
-    return max(1, max_block_bytes // (BYTES_PER_COLUMN_NODE * num_nodes))
+    minimum = BYTES_PER_COLUMN_NODE * num_nodes
+    columns = max_block_bytes // minimum
+    if columns < 1:
+        raise ValueError(
+            f"max_block_bytes={max_block_bytes} cannot fit a single walk "
+            f"column: one column costs {BYTES_PER_COLUMN_NODE} bytes per "
+            f"node x {num_nodes} nodes = {minimum} bytes, the minimum "
+            f"feasible budget for this graph"
+        )
+    return columns
 
 
 class DeepeningRounds:
@@ -84,8 +114,8 @@ class DeepeningRounds:
     max_block_bytes:
         Byte ceiling on any single resumable walk block (``None`` =
         unbounded full-width blocks).  A ceiling below one column's cost
-        is honoured as single-column chunks — the smallest block the
-        propagation can run.
+        (16 bytes per node) is infeasible and raises ``ValueError``
+        naming the minimum budget.
     """
 
     def __init__(
@@ -165,14 +195,25 @@ class DeepeningRounds:
             resident = claim
         if self._state is not None:
             if resident:
-                self._state.advance_to(level)
-            self._round_chunks.append(
-                (self._state, [int(t) for t in self._state.targets])
-            )
+                parts = self._advance_parts(self._state, level)
+            else:
+                parts = [(self._state, [int(t) for t in self._state.targets])]
+            column_of: Dict[int, Tuple[WalkState, int]] = {}
+            for part, part_targets in parts:
+                self._round_chunks.append((part, part_targets))
+                for j, q in enumerate(part_targets):
+                    column_of[q] = (part, j)
+            if len(parts) == 1:
+                self._state = parts[0][0]
+                self._state_cols = {q: j for j, q in enumerate(parts[0][1])}
+            else:
+                # The backoff split the window; repack() rebuilds it from
+                # this round's chunks under the narrowed budget.
+                self._state, self._state_cols = None, {}
             for q in resident:
-                column = self._state_cols[q]
-                self._walked[q] = (self._state, column)
-                vector = self._state.score_column(column)
+                part, column = column_of[q]
+                self._walked[q] = (part, column)
+                vector = part.score_column(column)
                 if cache is not None:
                     cache.put_scores(q, level, vector)
                 consume(q, vector)
@@ -184,27 +225,91 @@ class DeepeningRounds:
         if pending:  # bounded-mode overflow (or cache-less cold targets)
             width = self._max_cols if self._max_cols is not None else len(pending)
             candidate_cols = 0
-            for start in range(0, len(pending), width):
-                group = pending[start : start + width]
-                chunk = WalkState(self._engine, self._params, group)
-                chunk.advance_to(level)
-                retain = self._max_cols is None or candidate_cols < self._max_cols
-                if retain:
-                    candidate_cols += len(group)
-                    self._round_chunks.append((chunk, group))
-                for j, q in enumerate(group):
+            queue = list(pending)
+            while queue:
+                group = queue[: max(width, 1)]
+                queue = queue[len(group):]
+                parts = self._advance_parts(
+                    WalkState(self._engine, self._params, group), level
+                )
+                # A backoff may have narrowed the budget mid-loop.
+                if self._max_cols is not None:
+                    width = self._max_cols
+                for chunk, chunk_targets in parts:
+                    retain = (
+                        self._max_cols is None or candidate_cols < self._max_cols
+                    )
                     if retain:
-                        self._walked[q] = (chunk, j)
-                    vector = chunk.score_column(j)
-                    if cache is not None:
-                        cache.put_scores(q, level, vector)
-                    consume(q, vector)
-                if not retain:
-                    # Survivors of this chunk are not known until the
-                    # pruning step, by which time the chunk is gone —
-                    # spill every column now; pruned ones simply age out
-                    # of the cache's LRU.
-                    self._spill(chunk, range(len(group)))
+                        candidate_cols += len(chunk_targets)
+                        self._round_chunks.append((chunk, chunk_targets))
+                    for j, q in enumerate(chunk_targets):
+                        if retain:
+                            self._walked[q] = (chunk, j)
+                        vector = chunk.score_column(j)
+                        if cache is not None:
+                            cache.put_scores(q, level, vector)
+                        consume(q, vector)
+                    if not retain:
+                        # Survivors of this chunk are not known until the
+                        # pruning step, by which time the chunk is gone —
+                        # spill every column now; pruned ones simply age
+                        # out of the cache's LRU.
+                        self._spill(chunk, range(len(chunk_targets)))
+
+    def _advance_parts(
+        self, state: WalkState, level: int
+    ) -> List[Tuple[WalkState, List[int]]]:
+        """Advance ``state`` to ``level``, degrading instead of aborting.
+
+        An allocation failure or governor byte veto splits the block in
+        half, narrows the window budget, and retries the halves (the
+        adaptive backoff); a corrupted block is re-walked fresh.  Returns
+        the advanced parts with their target lists — one part when
+        nothing degraded, several after a split.
+        """
+        todo: List[WalkState] = [state]
+        done: List[WalkState] = []
+        while todo:
+            part = todo.pop()
+            try:
+                part.advance_to(level)
+            except (MemoryError, MemoryBudgetExceeded):
+                if part.width == 1:
+                    raise  # a single column is the floor; genuine exhaustion
+                half = part.width // 2
+                self._note_backoff(half)
+                todo.append(part.select(list(range(half, part.width))))
+                todo.append(part.select(list(range(half))))
+                continue
+            except CorruptedWalkError:
+                part = self._rewalk(part, level)
+            done.append(part)
+        return [(part, [int(t) for t in part.targets]) for part in done]
+
+    def _note_backoff(self, new_cols: int) -> None:
+        """Record one allocation-backoff retry and narrow the window."""
+        stats = self._engine.stats
+        stats.alloc_retries += 1
+        stats.degradations += 1
+        new_cols = max(1, new_cols)
+        if self._max_cols is None or new_cols < self._max_cols:
+            self._max_cols = new_cols
+
+    def _rewalk(self, state: WalkState, level: int) -> WalkState:
+        """Replace a corrupted block with a fresh walk (bounded retries)."""
+        targets = [int(t) for t in state.targets]
+        for _ in range(REWALK_ATTEMPTS):
+            self._engine.stats.degradations += 1
+            try:
+                return WalkState(self._engine, self._params, targets).advance_to(
+                    level
+                )
+            except CorruptedWalkError:
+                continue
+        raise CorruptedWalkError(
+            f"re-walking targets {targets} kept producing non-finite mass "
+            f"after {REWALK_ATTEMPTS} attempts"
+        )
 
     def donate_pruned(self, pruned: Iterable[int]) -> None:
         """Donate pruned targets' walked columns to the cache, so later

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from repro.exec.budget import CorruptedWalkError
 from repro.graph.validation import GraphValidationError
 from repro.walks.engine import WalkEngine
 from repro.walks.kernels import BlockKernel, as_block_kernel
@@ -142,6 +143,13 @@ class WalkState:
         """Number of block columns ``B``."""
         return self._targets.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the materialised buffers (0 at level 0)."""
+        if self._mass is None:
+            return 0
+        return self._mass.nbytes + self._acc.nbytes
+
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
@@ -156,6 +164,13 @@ class WalkState:
         if level < self._level:
             raise GraphValidationError(
                 f"cannot rewind a walk state from level {self._level} to {level}"
+            )
+        if level > self._level and self._mass is None:
+            # Cold materialisation is about to commit two (n, B) float64
+            # blocks; let the governor veto the allocation *before* the
+            # memory exists (16 bytes per node per column).
+            self._engine.checkpoint(
+                "alloc", nbytes=16 * self._engine.num_nodes * self.width
             )
         while self._level < level:
             i = self._level + 1
@@ -176,6 +191,17 @@ class WalkState:
             self._engine.stats.record_block_bytes(
                 self._mass.nbytes + self._acc.nbytes
             )
+            governor = self._engine.governor
+            if governor is not None and governor.validate_walks:
+                # Detect poisoned mass *before* the block's scores can be
+                # consumed, donated to a cache, or folded into results.
+                if not (
+                    np.isfinite(self._mass).all() and np.isfinite(self._acc).all()
+                ):
+                    raise CorruptedWalkError(
+                        f"non-finite walk mass at level {self._level} for "
+                        f"targets {self._targets.tolist()}"
+                    )
         return self
 
     def extend(self, steps: int) -> "WalkState":

@@ -232,16 +232,21 @@ class TestChunkedBIDJ:
         assert algorithm.pruning_trace == expected_trace
         assert ctx.engine.stats.peak_block_bytes <= ceiling
 
-    def test_tiny_ceiling_clamps_to_single_column(self):
-        """A ceiling below one column's cost degrades to 1-column chunks."""
+    def test_single_column_ceiling_runs_and_smaller_rejected(self):
+        """One column's cost is the minimum feasible ceiling; anything
+        below it raises a ValueError naming that minimum."""
         graph, left, right = self._workload()
-        ctx = make_context(graph, left, right, d=8, max_block_bytes=1)
+        minimum = 16 * graph.num_nodes
+        ctx = make_context(graph, left, right, d=8, max_block_bytes=minimum)
         result = BackwardIDJY(ctx).top_k(5)
         base = BackwardIDJY(make_context(graph, left, right, d=8)).top_k(5)
         assert [(p.left, p.right) for p in result] == [
             (p.left, p.right) for p in base
         ]
-        assert ctx.engine.stats.peak_block_bytes <= 16 * graph.num_nodes
+        assert ctx.engine.stats.peak_block_bytes <= minimum
+        tiny = make_context(graph, left, right, d=8, max_block_bytes=1)
+        with pytest.raises(ValueError, match=str(minimum)):
+            BackwardIDJY(tiny).top_k(5)
 
     def test_chunked_with_walk_cache_and_rerun(self):
         graph, left, right = self._workload()

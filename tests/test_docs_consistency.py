@@ -118,6 +118,9 @@ def test_bench_report_not_stale():
     assert payload.get("bounded_series"), (
         "schema 4 reports carry bounded-series rows"
     )
+    assert payload.get("budget_quality"), (
+        "schema 5 reports carry budget-quality rows"
+    )
 
 
 def test_bench_report_claims_hold():
@@ -141,6 +144,12 @@ def test_bench_report_claims_hold():
         assert row["bounded_peak_block_bytes"] < row["unbounded_peak_block_bytes"]
         assert row["spill_extensions"] > 0 and row["spill_steps_saved"] > 0
     assert {"ppr", "dht"} <= bounded_measures
+    for row in payload["budget_quality"]:
+        assert row["bounds_contain_reference"]
+        assert row["exact"] == (row["reason"] is None)
+        if row["step_budget_fraction"] == 1.0:
+            assert row["exact"] and row["recall_at_k"] == 1.0
+    assert any(not row["exact"] for row in payload["budget_quality"])
     measures_seen = set()
     for row in payload["measures"]:
         measures_seen.add(row["measure"])

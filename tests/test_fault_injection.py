@@ -1,0 +1,260 @@
+"""Fault-injection matrix: every fault x join x measure stays sound.
+
+Each cell installs a seeded :class:`~repro.exec.faults.FaultInjector`
+(one fired fault, mid-query) and asserts the tentpole invariant: the
+stack never returns a wrong answer — only an *exact* result identical
+to the fault-free oracle run, or a flagged partial whose per-result
+intervals contain the oracle scores.  Seeded runs are bit-reproducible:
+the same seed fires the same fault at the same checkpoint and returns
+identical results.
+
+Fault-to-site mapping (faults only make sense where their trigger
+exists):
+
+* ``alloc`` fires at allocation/block checkpoints and is absorbed by
+  the adaptive window backoff (``alloc_retries``/``degradations``);
+* ``nan`` poisons an in-flight walk block and is absorbed by the
+  validated re-walk (``degradations``);
+* ``evict`` clears the shared walk cache anywhere — correctness must
+  not depend on cache contents;
+* ``clock`` jumps the governed clock and turns a deadline query into a
+  flagged partial (``budget_stops``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import multi_way_join, two_way_join
+from repro.core.nway.query_graph import QueryGraph
+from repro.exec.budget import PartialResult, QueryBudget
+from repro.exec.faults import FaultInjector
+from repro.graph.builders import erdos_renyi
+from repro.walks.cache import WalkCache
+from repro.walks.engine import WalkEngine
+
+MEASURES = [None, "ppr", "simrank"]  # None = the DHT core path
+
+#: Sites where each fault's trigger exists.  ``alloc``/``nan`` outside
+#: these sites would model failures the layer under test never produces.
+FAULT_SITES = {
+    "alloc": ("alloc", "block"),
+    "nan": ("block",),
+    "evict": None,
+    "clock": None,
+}
+
+
+def _injector(fault: str, seed: int = 13) -> FaultInjector:
+    return FaultInjector(
+        seed,
+        faults=(fault,),
+        rate=1.0,
+        start_after=5,  # let some work happen before the fault lands
+        max_fires=1,
+        sites=FAULT_SITES[fault],
+    )
+
+
+def _budget(fault: str):
+    # Only the clock fault needs a deadline to have something to break;
+    # a generous one that only the injected 3600 s jump can exceed.
+    return QueryBudget(deadline_ms=60_000.0) if fault == "clock" else None
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = erdos_renyi(150, 5.0 / 150, np.random.default_rng(7), weighted=True)
+    left = list(range(12))
+    right = list(range(30, 70))
+    return graph, left, right
+
+
+@pytest.fixture(scope="module")
+def pair_oracles(workload):
+    """Exact score of every candidate pair, per measure."""
+    graph, left, right = workload
+    oracles = {}
+    for measure in MEASURES:
+        pairs = two_way_join(
+            graph, left, right, k=len(left) * len(right), algorithm="b-bj",
+            measure=measure,
+        )
+        oracles[measure] = {(p.left, p.right): p.score for p in pairs}
+    return oracles
+
+
+def assert_two_way_sound(result, oracle, expected, atol=1e-9):
+    assert isinstance(result, PartialResult)
+    if result.exact:
+        assert result.results == expected
+        assert all(lo == hi for lo, hi in result.bounds)
+        return
+    assert result.reason in ("deadline", "steps", "bytes")
+    for pair, (lower, upper) in zip(result.results, result.bounds):
+        assert lower - atol <= oracle[(pair.left, pair.right)] <= upper + atol
+
+
+def _run_two_way(workload, measure, fault, seed=13):
+    graph, left, right = workload
+    engine = WalkEngine(graph)
+    injector = _injector(fault, seed)
+    result = two_way_join(
+        graph, left, right, 8, engine=engine, measure=measure,
+        budget=_budget(fault), fault_injector=injector,
+    )
+    return result, engine, injector
+
+
+class TestTwoWayMatrix:
+    @pytest.mark.parametrize("measure", MEASURES)
+    @pytest.mark.parametrize("fault", sorted(FAULT_SITES))
+    def test_exact_or_flagged_partial(self, workload, pair_oracles, measure, fault):
+        graph, left, right = workload
+        expected = two_way_join(graph, left, right, 8, measure=measure)
+        result, engine, injector = _run_two_way(workload, measure, fault)
+        assert_two_way_sound(result, pair_oracles[measure], expected)
+        assert engine.stats.checkpoints > 0
+        if fault in ("alloc", "nan") and injector.fired and result.exact:
+            # The fault was absorbed by a counted recovery, not ignored.
+            assert engine.stats.degradations + engine.stats.alloc_retries > 0
+        if fault == "clock" and injector.fired:
+            assert not result.exact and result.reason == "deadline"
+            assert engine.stats.budget_stops == 1
+        if not injector.fired:
+            # No trigger site on this path (e.g. nan under SimRank's
+            # matrix gathers): the run must simply be exact.
+            assert result.exact
+
+    @pytest.mark.parametrize("fault", sorted(FAULT_SITES))
+    def test_seeded_runs_are_identical(self, workload, fault):
+        first, engine_a, injector_a = _run_two_way(workload, None, fault)
+        second, engine_b, injector_b = _run_two_way(workload, None, fault)
+        assert injector_a.fired == injector_b.fired
+        assert first.results == second.results
+        assert first.bounds == second.bounds
+        assert (first.exact, first.reason) == (second.exact, second.reason)
+        for name in ("checkpoints", "budget_stops", "degradations",
+                     "alloc_retries", "propagation_steps"):
+            assert getattr(engine_a.stats, name) == getattr(engine_b.stats, name)
+
+    def test_different_seeds_change_the_schedule(self, workload):
+        _, _, injector_a = _run_two_way(workload, None, "evict", seed=13)
+        _, _, injector_b = _run_two_way(workload, None, "evict", seed=14)
+        # rate=1.0 fires at the first armed checkpoint either way; the
+        # logs agree here, so distinguish via the drawn schedules of a
+        # lower-rate injector instead.
+        low_a = FaultInjector(1, faults=("evict",), rate=0.3, max_fires=None)
+        low_b = FaultInjector(2, faults=("evict",), rate=0.3, max_fires=None)
+
+        class _Gov:
+            walk_cache = None
+
+        for _ in range(50):
+            low_a.fire("step", _Gov())
+            low_b.fire("step", _Gov())
+        assert [i for i, _, _ in low_a.fired] != [i for i, _, _ in low_b.fired]
+
+    def test_evict_storm_with_shared_cache(self, workload):
+        """An eviction storm mid-join leaves results bit-identical."""
+        graph, left, right = workload
+        expected = two_way_join(graph, left, right, 8)
+        engine = WalkEngine(graph)
+        from repro.core.dht import DHTParams
+
+        cache = WalkCache(engine, DHTParams.dht_lambda(0.2))
+        injector = _injector("evict")
+        result = two_way_join(
+            graph, left, right, 8, engine=engine, walk_cache=cache,
+            fault_injector=injector,
+            max_block_bytes=16 * graph.num_nodes * 3,  # spill mode
+        )
+        assert injector.fired
+        assert result.exact
+        assert result.results == expected
+
+
+class TestNWayMatrix:
+    @pytest.fixture(scope="class")
+    def nway(self):
+        graph = erdos_renyi(150, 5.0 / 150, np.random.default_rng(7), weighted=True)
+        query = QueryGraph(3, [(0, 1), (1, 2)], names=["A", "B", "C"])
+        sets = [list(range(8)), list(range(30, 45)), list(range(60, 72))]
+        return graph, query, sets
+
+    @pytest.fixture(scope="class")
+    def edge_oracles(self, nway):
+        graph, query, sets = nway
+        oracles = {}
+        for measure in MEASURES:
+            per_edge = []
+            for i, j in query.edges:
+                pairs = two_way_join(
+                    graph, sets[i], sets[j], k=len(sets[i]) * len(sets[j]),
+                    algorithm="b-bj", measure=measure,
+                )
+                per_edge.append({(p.left, p.right): p.score for p in pairs})
+            oracles[measure] = per_edge
+        return oracles
+
+    @pytest.mark.parametrize("measure", MEASURES)
+    @pytest.mark.parametrize("fault", sorted(FAULT_SITES))
+    def test_exact_or_flagged_partial(self, nway, edge_oracles, measure, fault):
+        graph, query, sets = nway
+        expected = multi_way_join(graph, query, sets, 5, measure=measure)
+        engine = WalkEngine(graph)
+        injector = _injector(fault)
+        result = multi_way_join(
+            graph, query, sets, 5, engine=engine, measure=measure,
+            budget=_budget(fault), fault_injector=injector,
+        )
+        assert isinstance(result, PartialResult)
+        if result.exact:
+            assert result.results == expected
+        else:
+            assert result.reason in ("deadline", "steps", "bytes")
+            atol = 1e-9
+            for answer, (lower, upper) in zip(result.results, result.bounds):
+                exact_edges = [
+                    edge_oracles[measure][e][(answer.nodes[i], answer.nodes[j])]
+                    for e, (i, j) in enumerate(query.edges)
+                ]
+                assert lower - atol <= min(exact_edges) <= upper + atol
+        if not injector.fired:
+            assert result.exact
+
+    @pytest.mark.parametrize("fault", sorted(FAULT_SITES))
+    def test_seeded_runs_are_identical(self, nway, fault):
+        graph, query, sets = nway
+
+        def run():
+            engine = WalkEngine(graph)
+            injector = _injector(fault)
+            result = multi_way_join(
+                graph, query, sets, 5, engine=engine,
+                budget=_budget(fault), fault_injector=injector,
+            )
+            return result, injector
+
+        first, injector_a = run()
+        second, injector_b = run()
+        assert injector_a.fired == injector_b.fired
+        assert first.results == second.results
+        assert first.bounds == second.bounds
+        assert (first.exact, first.reason) == (second.exact, second.reason)
+
+
+class TestInjectorValidation:
+    def test_rejects_unknown_faults(self):
+        with pytest.raises(ValueError, match="faults"):
+            FaultInjector(1, faults=("gremlin",))
+        with pytest.raises(ValueError, match="faults"):
+            FaultInjector(1, faults=())
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultInjector(1, rate=0.0)
+
+    def test_max_fires_bounds_the_log(self, workload):
+        _, _, injector = _run_two_way(workload, None, "evict")
+        assert len(injector.fired) == 1
+        assert injector.checkpoints_seen > len(injector.fired)

@@ -189,3 +189,74 @@ class TestCrossEdgeSharing:
             share_walks=False,
         )
         assert spec.walk_cache is None
+
+
+class TestByteBudget:
+    """Strict byte-denominated LRU: ``current_bytes <= max_bytes`` always."""
+
+    def test_rejects_bad_budget(self, engine, params):
+        with pytest.raises(GraphValidationError, match="max_bytes"):
+            WalkCache(engine, params, max_bytes=0)
+
+    def test_accounting_tracks_retained_bytes(self, engine, params):
+        cache = WalkCache(engine, params)
+        assert cache.current_bytes == 0
+        cache.scores(5, 4)
+        n = engine.num_nodes
+        # One length-n score vector plus one resumable state (mass + acc).
+        assert cache.current_bytes == 8 * n + 16 * n
+        cache.scores(5, 6)  # extends the state, adds a second vector
+        assert cache.current_bytes == 2 * 8 * n + 16 * n
+        cache.clear()
+        assert cache.current_bytes == 0
+
+    def test_budget_evicts_least_recent(self, engine, params):
+        n = engine.num_nodes
+        per_target = 8 * n + 16 * n
+        cache = WalkCache(engine, params, max_bytes=2 * per_target)
+        cache.scores(1, 4)
+        cache.scores(2, 4)
+        assert len(cache) == 2 and cache.stats.evictions == 0
+        cache.scores(3, 4)  # exceeds the budget: target 1 is evicted
+        assert len(cache) == 2
+        assert 1 not in cache and 2 in cache and 3 in cache
+        assert cache.stats.evictions == 1
+        assert cache.current_bytes <= cache.max_bytes
+
+    def test_oversized_entry_is_dropped_outright(self, engine, params):
+        n = engine.num_nodes
+        cache = WalkCache(engine, params, max_bytes=8 * n)  # < one entry
+        cache.scores(7, 4)
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+        assert cache.stats.evictions == 1
+
+    def test_put_scores_and_adopt_are_accounted(self, engine, params):
+        n = engine.num_nodes
+        cache = WalkCache(engine, params, max_bytes=10 * (8 * n + 16 * n))
+        cache.put_scores(4, 3, np.zeros(n))
+        assert cache.current_bytes == 8 * n
+        cache.adopt(WalkState(engine, params, [4]).advance_to(3))
+        assert cache.current_bytes == 8 * n + 16 * n
+        assert cache.current_bytes <= cache.max_bytes
+
+    def test_bound_holds_under_mixed_workload(self, engine, params, rng):
+        n = engine.num_nodes
+        cache = WalkCache(engine, params, max_bytes=3 * (8 * n + 16 * n))
+        for _ in range(60):
+            target = int(rng.integers(n))
+            level = int(rng.integers(1, 7))
+            cache.scores(target, level)
+            assert cache.current_bytes <= cache.max_bytes
+
+    def test_spec_forwards_walk_cache_bytes(self, random_graph, params):
+        query = QueryGraph(2, [(0, 1)], names=["A", "B"])
+        spec = NWayJoinSpec(
+            graph=random_graph,
+            query_graph=query,
+            node_sets=[[0, 1], [2, 3]],
+            k=2,
+            params=params,
+            walk_cache_bytes=1 << 20,
+        )
+        assert spec.walk_cache.max_bytes == 1 << 20

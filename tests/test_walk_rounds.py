@@ -183,12 +183,27 @@ class TestBIDJSpill:
         cache = WalkCache(engine, DHTParams.dht_lambda(0.2))
         ctx = make_context(
             graph, left, right, d=8, engine=engine, walk_cache=cache,
-            max_block_bytes=1,  # honoured as single-column chunks
+            max_block_bytes=16 * graph.num_nodes,  # exactly one column
         )
         result = BackwardIDJY(ctx).top_k(8)
         assert _pairs_key(result) == _pairs_key(expected)
         assert engine.stats.peak_block_bytes <= 16 * graph.num_nodes
         assert engine.stats.extensions > 0
+
+    def test_sub_column_ceiling_rejected(self):
+        """A budget below one column's cost names the minimum feasible
+        budget instead of silently degrading."""
+        graph, left, right = _mid_workload()
+        minimum = 16 * graph.num_nodes
+        with pytest.raises(ValueError, match=str(minimum)):
+            BackwardIDJY(
+                make_context(graph, left, right, d=8, max_block_bytes=minimum - 1)
+            ).top_k(4)
+        from repro.walks.rounds import columns_for_budget
+
+        with pytest.raises(ValueError, match="minimum"):
+            columns_for_budget(15, graph.num_nodes)
+        assert columns_for_budget(minimum, graph.num_nodes) == 1
 
 
 SERIES_MEASURES = [
