@@ -32,6 +32,12 @@ degree-aware kernel):
   ungoverned reference, with every returned score interval checked to
   contain the pair's exact ``B-BJ`` score; the full-budget row must
   come back exact with recall 1.0;
+* the cost-based planner (schema 6, ``planner`` section): ``PJ`` over
+  the controlled-skew fixtures (walk-cache-pressured star and chain)
+  under three build orders — planner ``auto``, natural ``fixed``, and
+  the worst interleaved order — identical answers on every arm, per-arm
+  propagation steps, and the auto-vs-worst step reduction (>= 1.2x on
+  the skewed star);
 * the measure-generic stack (schema 3): batched vs. per-target PPR
   scoring (``Series-B-BJ`` wall clock + identical-output check),
   resumable vs. restart ``Series-IDJ`` step counts, and per-measure
@@ -111,6 +117,10 @@ SIMRANK_ITERATIONS = 8
 # Governed budget-quality sweep: step budgets as fractions of the
 # ungoverned run's propagation-step count.
 BUDGET_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0)
+# Planner arms (schema 6): m large relative to k so PJ never refills —
+# the build-phase walk costs the planner reorders dominate the counter.
+PLANNER_M = 200
+PLANNER_SCENARIOS = ("skewed-star", "chain")
 REPORT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_walks.json",
@@ -599,6 +609,66 @@ def bench_measure_simrank(topology: str) -> dict:
     return row
 
 
+def bench_planner(scenario: str) -> dict:
+    """Cost-based planner arms on a walk-cache-pressured fixture.
+
+    Three ``PJ`` runs of the same spec — the planner's ``auto`` order,
+    the natural ``fixed`` order, and the worst interleaved order (built
+    explicitly via ``plan_with_order``) — on the controlled-skew
+    fixtures from :mod:`repro.planner.fixture`.  The byte-budgeted walk
+    cache makes edge order matter: grouping edges that share right sets
+    keeps them resident, interleaving thrashes.  Answers must be
+    identical across arms (the plan layer only reorders builds); the
+    payload records per-arm propagation steps and the auto-vs-worst
+    reduction.
+    """
+    from repro.planner import PlannerFixture, choose_plan, plan_with_order
+
+    fixture = PlannerFixture()
+    builders = {
+        "skewed-star": fixture.skewed_star_spec,
+        "chain": fixture.chain_spec,
+    }
+    build = builders[scenario]
+
+    def arm(plan_value):
+        # Fresh spec per arm: each gets its own cold walk/bound caches.
+        spec = build()
+        spec.engine.stats.reset()
+        answers = PartialJoin(spec, m=PLANNER_M, plan=plan_value).run()
+        key = [(tuple(a.nodes), round(a.score, 12)) for a in answers]
+        return spec.engine.stats.propagation_steps, key
+
+    probe = build()
+    worst_order = fixture.worst_interleaved_order(probe)
+    worst_plan = plan_with_order(
+        probe, "pj", worst_order, default_operator="b-idj-y"
+    )
+    auto_plan = choose_plan(build(), "pj")
+    auto_steps, auto_answers = arm("auto")
+    fixed_steps, fixed_answers = arm("fixed")
+    worst_steps, worst_answers = arm(worst_plan)
+    return {
+        "scenario": scenario,
+        "nodes": probe.graph.num_nodes,
+        "query_edges": probe.query_graph.num_edges,
+        "k": probe.k,
+        "m": PLANNER_M,
+        "walk_cache_bytes": probe.walk_cache_bytes,
+        "auto_order": list(auto_plan.build_order),
+        "fixed_order": list(range(probe.query_graph.num_edges)),
+        "worst_order": list(worst_order),
+        "auto_operators": sorted(set(auto_plan.operators)),
+        "auto_steps": auto_steps,
+        "fixed_steps": fixed_steps,
+        "worst_steps": worst_steps,
+        "answers_match_fixed": auto_answers == fixed_answers,
+        "answers_match_worst": auto_answers == worst_answers,
+        "step_reduction_vs_fixed": speedup(fixed_steps, auto_steps),
+        "step_reduction_vs_worst": speedup(worst_steps, auto_steps),
+    }
+
+
 def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
     """Run the sweep, print a summary, and write the JSON report."""
     results = []
@@ -689,6 +759,19 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
             f"bound={sr_row['nway_bound_cache_hits']} "
             f"(match={sr_row['nway_answers_match']})"
         )
+    planner_results = []
+    for scenario in PLANNER_SCENARIOS:
+        p_row = bench_planner(scenario)
+        planner_results.append(p_row)
+        print(
+            f"{p_row['scenario']:>12} planner PJ steps "
+            f"auto {p_row['auto_steps']} vs "
+            f"fixed {p_row['fixed_steps']} / worst {p_row['worst_steps']} "
+            f"({p_row['step_reduction_vs_worst']:.2f}x vs worst, "
+            f"auto order {p_row['auto_order']}, "
+            f"match={p_row['answers_match_fixed']}/"
+            f"{p_row['answers_match_worst']})"
+        )
     payload = {
         "benchmark": "walk_engine",
         "schema_version": WALK_BENCH_SCHEMA_VERSION,
@@ -697,6 +780,7 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
         "measures": measure_results,
         "bounded_series": bounded_series_results,
         "budget_quality": budget_quality_results,
+        "planner": planner_results,
     }
     write_json_report(report_path, payload)
     print(f"wrote {report_path}")
@@ -767,6 +851,24 @@ def test_budget_quality_recall_curve():
         partial = [r for r in rows if not r["exact"]]
         assert partial, topology  # starved fractions must actually stop
         assert all(r["reason"] == "steps" for r in partial), topology
+
+
+def test_planner_auto_beats_worst_order():
+    """CI smoke bar for the cost-based planner: identical answers on
+    every arm, auto at least 1.2x cheaper than the worst interleaved
+    order on the skewed star (in propagation steps) while choosing a
+    non-natural build order, and never worse than fixed on the chain."""
+    star = bench_planner("skewed-star")
+    assert star["answers_match_fixed"], star
+    assert star["answers_match_worst"], star
+    assert star["auto_order"] != star["fixed_order"], star
+    assert star["auto_steps"] <= star["fixed_steps"], star
+    assert star["step_reduction_vs_worst"] >= 1.2, star
+    chain = bench_planner("chain")
+    assert chain["answers_match_fixed"], chain
+    assert chain["answers_match_worst"], chain
+    assert chain["auto_steps"] <= chain["fixed_steps"], chain
+    assert chain["auto_steps"] <= chain["worst_steps"], chain
 
 
 def test_measure_rows_equivalent_with_cache_hits():

@@ -16,7 +16,7 @@ See ``README.md`` for the architecture map and paper-name glossary, and
 ``docs/BENCHMARKS.md`` for how the performance trajectory is measured.
 """
 
-from repro.api import multi_way_join, two_way_join
+from repro.api import explain_multi_way_plan, multi_way_join, two_way_join
 from repro.bounds_cache import BoundPlanCache
 from repro.core.dht import DHTParams
 from repro.core.nway.aggregates import AVG, MAX, MIN, SUM
@@ -40,6 +40,7 @@ __all__ = [
     "SUM",
     "ScoredPair",
     "WalkEngine",
+    "explain_multi_way_plan",
     "multi_way_join",
     "two_way_join",
     "__version__",

@@ -268,6 +268,7 @@ def multi_way_join(
     max_block_bytes: Optional[int] = None,
     walk_cache_bytes: Optional[int] = None,
     measure: Optional[Union[str, object]] = None,
+    plan: object = "fixed",
     budget: Optional[QueryBudget] = None,
     on_budget: str = "partial",
     fault_injector=None,
@@ -309,6 +310,16 @@ def multi_way_join(
         Optional byte budget for the shared walk cache (strict
         least-recently-used eviction over retained vectors and
         resumable buffers); see :class:`~repro.walks.cache.WalkCache`.
+    plan:
+        ``"fixed"`` (default — index edge order, the executor's default
+        operator, the pre-planner behaviour), ``"auto"`` (the
+        cost-based planner of :mod:`repro.planner` chooses edge order,
+        per-edge operators, and block knobs from degree/skew
+        statistics), or an :class:`~repro.planner.plan.ExplainedPlan`
+        (replayed verbatim — pair with :func:`explain_multi_way_plan`
+        to inspect before running).  Plans never change answers, only
+        cost; ``"nl"`` has no per-edge structure and rejects
+        ``"auto"``.
     budget / on_budget / fault_injector:
         Same semantics as :func:`two_way_join`: a budget (or injector)
         switches to governed execution and a
@@ -350,6 +361,7 @@ def multi_way_join(
                 share_bounds=share_bounds,
                 max_block_bytes=max_block_bytes,
                 walk_cache_bytes=walk_cache_bytes,
+                plan=plan,
             )
             return _governed_multi_way(
                 spec, name, m, budget, on_budget, fault_injector
@@ -364,6 +376,14 @@ def multi_way_join(
             share_walks=share_walks,
             share_bounds=share_bounds,
             max_block_bytes=max_block_bytes,
+            plan=plan,
+        )
+    name = algorithm.lower()
+    if name == "nl" and plan != "fixed":
+        raise GraphValidationError(
+            "the NL strategy scores answers one tuple at a time; it has no "
+            "per-edge build order or operator choice to plan — use 'ap', "
+            "'pj', or 'pj-i' with plan='auto'"
         )
     spec = NWayJoinSpec(
         graph=graph,
@@ -379,8 +399,8 @@ def multi_way_join(
         share_bounds=share_bounds,
         max_block_bytes=max_block_bytes,
         walk_cache_bytes=walk_cache_bytes,
+        plan=plan,
     )
-    name = algorithm.lower()
     if governed:
         return _governed_multi_way(
             spec, name, m, budget, on_budget, fault_injector
@@ -396,3 +416,89 @@ def multi_way_join(
     raise GraphValidationError(
         f"unknown n-way algorithm {algorithm!r}; choose from {_NWAY_ALGORITHMS}"
     )
+
+
+def explain_multi_way_plan(
+    graph: Graph,
+    query_graph: QueryGraph,
+    node_sets: Sequence[Sequence[int]],
+    k: int,
+    algorithm: str = "pj-i",
+    aggregate: Aggregate = MIN,
+    m: int = 50,
+    params: Optional[DHTParams] = None,
+    d: Optional[int] = None,
+    epsilon: Optional[float] = None,
+    engine: Optional[WalkEngine] = None,
+    share_walks: bool = True,
+    share_bounds: bool = True,
+    max_block_bytes: Optional[int] = None,
+    walk_cache_bytes: Optional[int] = None,
+    measure: Optional[Union[str, object]] = None,
+    plan: object = "auto",
+):
+    """The :class:`~repro.planner.plan.ExplainedPlan` that
+    :func:`multi_way_join` would execute — without running the join.
+
+    Mirrors :func:`multi_way_join`'s spec construction exactly, so the
+    returned plan can be passed back via its ``plan=`` parameter to run
+    precisely what was explained (the CLI's ``--explain`` does this).
+    Planning reads cheap degree statistics and probes the shared caches
+    without building anything, so explaining is walk-free.
+    """
+    resolved = _resolve_measure(measure)
+    name = algorithm.lower()
+    if resolved is not None:
+        if name not in ("ap", "pj", "pj-i"):
+            raise GraphValidationError(
+                f"algorithm {algorithm!r} is DHT-only; under measure "
+                f"{resolved.name} choose from ['ap', 'pj', 'pj-i']"
+            )
+        _reject_dht_options_under_measure(
+            resolved, params=params, d=d, epsilon=epsilon,
+        )
+        spec = NWayJoinSpec(
+            graph=graph,
+            query_graph=query_graph,
+            node_sets=[list(nodes) for nodes in node_sets],
+            k=k,
+            aggregate=aggregate,
+            engine=engine,
+            measure=resolved,
+            share_walks=share_walks,
+            share_bounds=share_bounds,
+            max_block_bytes=max_block_bytes,
+            walk_cache_bytes=walk_cache_bytes,
+            plan=plan,
+        )
+        # The measure path has no incremental PJ-i; it runs PJ.
+        strategy = "ap" if name == "ap" else "pj"
+        return spec.resolve_plan(strategy, m=m)
+    if name == "nl":
+        raise GraphValidationError(
+            "the NL strategy scores answers one tuple at a time; it has no "
+            "per-edge build order or operator choice to plan — use 'ap', "
+            "'pj', or 'pj-i'"
+        )
+    if name not in ("ap", "pj", "pj-i"):
+        raise GraphValidationError(
+            f"unknown n-way algorithm {algorithm!r}; "
+            f"choose from {_NWAY_ALGORITHMS}"
+        )
+    spec = NWayJoinSpec(
+        graph=graph,
+        query_graph=query_graph,
+        node_sets=[list(nodes) for nodes in node_sets],
+        k=k,
+        aggregate=aggregate,
+        params=params,
+        d=d,
+        epsilon=epsilon,
+        engine=engine,
+        share_walks=share_walks,
+        share_bounds=share_bounds,
+        max_block_bytes=max_block_bytes,
+        walk_cache_bytes=walk_cache_bytes,
+        plan=plan,
+    )
+    return spec.resolve_plan(name, m=m)

@@ -162,6 +162,17 @@ class BoundPlanCache:
         """
         return self._get(("y", self.node_set_key(sources), int(d)), build)
 
+    def peek_y_bound(self, sources: Iterable[int], d: int):
+        """Pure probe: the memoised ``Y`` bound for ``(sources, d)``, or
+        ``None``.
+
+        Unlike :meth:`y_bound` this never builds, never counts a hit,
+        and never reorders the LRU — the planner uses it to read
+        already-paid-for reach-mass tails without perturbing either the
+        cache or the engine's accounting.
+        """
+        return self._entries.get(("y", self.node_set_key(sources), int(d)))
+
     def tail_plan(self, rows: Iterable[int], d: int, build: Callable[[], object]):
         """The restricted-tail plan for ``rows`` at depth ``d``.
 

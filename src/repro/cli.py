@@ -28,7 +28,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.api import multi_way_join, two_way_join
+from repro.api import explain_multi_way_plan, multi_way_join, two_way_join
 from repro.core.dht import DHTParams
 from repro.core.nway.aggregates import aggregate_by_name
 from repro.core.nway.query_graph import QueryGraph
@@ -133,6 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-bound-cache", action="store_false", dest="share_bounds",
         help="disable the cross-edge bound/plan cache "
              "(per-edge Y-bound and tail-plan builds)",
+    )
+    multi.add_argument(
+        "--plan", choices=("fixed", "auto"), default="fixed",
+        help="edge order / per-edge operator selection: 'fixed' "
+             "(default) keeps index order with the strategy default, "
+             "'auto' lets the degree/skew cost planner choose (answers "
+             "are identical either way; only cost moves)",
+    )
+    multi.add_argument(
+        "--explain", action="store_true",
+        help="print the chosen plan (order, operators, cost estimates) "
+             "before the answers; with --json the output becomes "
+             "{'plan': ..., 'results': ...}",
     )
 
     stats = sub.add_parser("stats", help="print graph statistics")
@@ -252,28 +265,52 @@ def _run_multi_way(args) -> int:
     )
     measure = _series_measure(args)
     budget = _budget(args)
+    aggregate = aggregate_by_name(args.aggregate)
+    plan_arg: object = args.plan
+    plan_obj = None
+    if args.explain:
+        # Plan once, print it, then replay that exact plan — the join
+        # executes precisely what was explained (no double planning).
+        explain_kwargs = dict(
+            algorithm=args.algorithm, aggregate=aggregate, m=args.m,
+            share_walks=args.share_walks, share_bounds=args.share_bounds,
+            max_block_bytes=args.max_block_bytes, plan=args.plan,
+        )
+        if measure is not None:
+            plan_obj = explain_multi_way_plan(
+                graph, query, sets, args.k, measure=measure, **explain_kwargs
+            )
+        else:
+            plan_obj = explain_multi_way_plan(
+                graph, query, sets, args.k,
+                params=_dht_params(args), epsilon=args.epsilon,
+                **explain_kwargs,
+            )
+        plan_arg = plan_obj
     if measure is not None:
         result = multi_way_join(
             graph, query, sets, k=args.k,
             algorithm=args.algorithm,
-            aggregate=aggregate_by_name(args.aggregate),
+            aggregate=aggregate,
             m=args.m,
             measure=measure,
             share_walks=args.share_walks,
             share_bounds=args.share_bounds,
             max_block_bytes=args.max_block_bytes,
+            plan=plan_arg,
             budget=budget, on_budget=args.on_budget,
         )
     else:
         result = multi_way_join(
             graph, query, sets, k=args.k,
             algorithm=args.algorithm,
-            aggregate=aggregate_by_name(args.aggregate),
+            aggregate=aggregate,
             m=args.m,
             params=_dht_params(args), epsilon=args.epsilon,
             share_walks=args.share_walks,
             share_bounds=args.share_bounds,
             max_block_bytes=args.max_block_bytes,
+            plan=plan_arg,
             budget=budget, on_budget=args.on_budget,
         )
     answers, partial = _unwrap(result)
@@ -290,13 +327,19 @@ def _run_multi_way(args) -> int:
             for row, (lower, upper) in zip(rows, partial.bounds):
                 row["lower"] = lower
                 row["upper"] = upper
-            print(json.dumps(
-                {"exact": partial.exact, "reason": partial.reason,
-                 "results": rows}
-            ))
+            payload = {"exact": partial.exact, "reason": partial.reason,
+                       "results": rows}
         else:
-            print(json.dumps(rows))
+            payload = rows
+        if plan_obj is not None:
+            if not isinstance(payload, dict):
+                payload = {"results": rows}
+            payload["plan"] = plan_obj.to_json()
+        print(json.dumps(payload))
     else:
+        if plan_obj is not None:
+            for line in plan_obj.format().splitlines():
+                print(f"# {line}")
         if partial is not None and not partial.exact:
             print(f"# partial result (budget exhausted: {partial.reason}); "
                   f"scores are lower bounds")

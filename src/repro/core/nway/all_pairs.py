@@ -35,19 +35,25 @@ _MATERIALIZERS = {
 
 
 class AllPairsJoin:
-    """``AP``: full per-edge materialisation + PBRJ rank join."""
+    """``AP``: full per-edge materialisation + PBRJ rank join.
+
+    ``plan`` (or ``spec.plan``) chooses per-edge materialiser
+    (``f-bj``/``b-bj``), build order, and ``b-bj``'s block width; the
+    materialised lists are complete either way, so plans only move
+    cost, never answers.
+    """
 
     name = "AP"
 
-    def __init__(self, spec: NWayJoinSpec, two_way: str = "f-bj") -> None:
-        try:
-            self._materializer = _MATERIALIZERS[two_way.lower()]
-        except KeyError:
+    def __init__(self, spec: NWayJoinSpec, two_way: str = "f-bj", plan=None) -> None:
+        if two_way.lower() not in _MATERIALIZERS:
             raise GraphValidationError(
                 f"unknown AP materializer {two_way!r}; "
                 f"choose from {sorted(_MATERIALIZERS)}"
-            ) from None
+            )
         self._spec = spec
+        self._default_operator = two_way.lower()
+        self._plan = plan
         self.stats = None
 
     def run(self) -> List[CandidateAnswer]:
@@ -55,18 +61,29 @@ class AllPairsJoin:
         spec = self._spec
         if spec.k == 0:
             return []
-        inputs = []
-        for e in range(spec.query_graph.num_edges):
-            pairs = sort_pairs(self._materializer(spec.edge_context(e)).all_pairs())
-            inputs.append(
-                MaterializedInput(pairs, name=spec.query_graph.edge_name(e))
-            )
+        plan = spec.resolve_plan(
+            "ap", plan=self._plan, default_operator=self._default_operator
+        )
+        self.plan = plan
+        num_edges = spec.query_graph.num_edges
+        inputs = [None] * num_edges
+        for e in plan.build_order:
+            ep = plan.edges[e]
+            materializer_cls = _MATERIALIZERS[ep.operator]
+            if ep.operator == "b-bj" and ep.block_size is not None:
+                materializer = materializer_cls(
+                    spec.edge_context(e), block_size=ep.block_size
+                )
+            else:
+                materializer = materializer_cls(spec.edge_context(e))
+            pairs = sort_pairs(materializer.all_pairs())
+            inputs[e] = MaterializedInput(pairs, name=spec.query_graph.edge_name(e))
         driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
         answers = driver.run()
         self.stats = driver.stats
         return answers
 
 
-def all_pairs_join(spec: NWayJoinSpec, two_way: str = "f-bj"):
+def all_pairs_join(spec: NWayJoinSpec, two_way: str = "f-bj", plan=None):
     """Convenience: run ``AP`` on a spec and return its answers."""
-    return AllPairsJoin(spec, two_way=two_way).run()
+    return AllPairsJoin(spec, two_way=two_way, plan=plan).run()

@@ -96,18 +96,31 @@ class PartialJoin:
     m:
         Per-edge prefix length; ``0 <= m``.  The paper's default is 50.
     two_way:
-        Name of the 2-way join algorithm used for both the initial
-        prefixes and the restart refills (default ``"b-idj-y"``).
+        Name of the default 2-way join algorithm used for both the
+        initial prefixes and the restart refills (``"b-idj-y"``).
+        Under ``plan="auto"`` the planner may pick a different operator
+        per edge; the default seeds its candidate preference.
+    plan:
+        Optional override of ``spec.plan`` — ``"fixed"``, ``"auto"``,
+        or a replayed :class:`~repro.planner.plan.ExplainedPlan`.
     """
 
     name = "PJ"
 
-    def __init__(self, spec: NWayJoinSpec, m: int = 50, two_way: str = "b-idj-y") -> None:
+    def __init__(
+        self,
+        spec: NWayJoinSpec,
+        m: int = 50,
+        two_way: str = "b-idj-y",
+        plan=None,
+    ) -> None:
         if m < 0:
             raise GraphValidationError(f"m must be >= 0, got {m}")
         self._spec = spec
         self._m = m
-        self._algorithm_cls = two_way_algorithm_by_name(two_way)
+        two_way_algorithm_by_name(two_way)  # validate the default eagerly
+        self._default_operator = two_way.lower()
+        self._plan = plan
         self.stats = PartialJoinStats()
 
     def run(self) -> List[CandidateAnswer]:
@@ -115,18 +128,29 @@ class PartialJoin:
         spec = self._spec
         if spec.k == 0:
             return []
-        inputs = []
+        plan = spec.resolve_plan(
+            "pj",
+            plan=self._plan,
+            default_operator=self._default_operator,
+            m=self._m,
+        )
+        self.plan = plan
+        num_edges = spec.query_graph.num_edges
+        inputs: List[Optional[LazyInput]] = [None] * num_edges
         providers = []
-        for e in range(spec.query_graph.num_edges):
+        # The plan orders the *builds*; the PBRJ driver still consumes
+        # ``inputs`` positionally (``inputs[e]`` streams query edge
+        # ``e``), so build order affects walk-cache residency — never
+        # which pairs an edge yields.
+        for e in plan.build_order:
             context = spec.edge_context(e)
-            provider = _RestartProvider(context, self._algorithm_cls, self._m)
+            algorithm_cls = two_way_algorithm_by_name(plan.edges[e].operator)
+            provider = _RestartProvider(context, algorithm_cls, self._m)
             providers.append(provider)
-            inputs.append(
-                LazyInput(
-                    provider.initial(),
-                    refill=provider.next_pair,
-                    name=spec.query_graph.edge_name(e),
-                )
+            inputs[e] = LazyInput(
+                provider.initial(),
+                refill=provider.next_pair,
+                name=spec.query_graph.edge_name(e),
             )
         driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
         answers = driver.run()
@@ -136,6 +160,8 @@ class PartialJoin:
         return answers
 
 
-def partial_join(spec: NWayJoinSpec, m: int = 50, two_way: str = "b-idj-y"):
+def partial_join(
+    spec: NWayJoinSpec, m: int = 50, two_way: str = "b-idj-y", plan=None
+):
     """Convenience: run ``PJ`` on a spec and return its answers."""
-    return PartialJoin(spec, m=m, two_way=two_way).run()
+    return PartialJoin(spec, m=m, two_way=two_way, plan=plan).run()

@@ -49,21 +49,31 @@ class PartialJoinIncremental:
     bound:
         Upper-bound flavour for the underlying ``B-IDJ``; ``"y"``
         (default, the paper's choice) or ``"x"``.
+    plan:
+        Optional override of ``spec.plan``.  ``PJ-i``'s incremental
+        ``F``-structure is its own operator, so the planner only
+        chooses the edge *build order* here (walk-cache residency),
+        never the operator.
     """
 
     name = "PJ-i"
 
-    def __init__(self, spec: NWayJoinSpec, m: int = 50, bound: str = "y") -> None:
+    def __init__(
+        self, spec: NWayJoinSpec, m: int = 50, bound: str = "y", plan=None
+    ) -> None:
         if m < 0:
             raise GraphValidationError(f"m must be >= 0, got {m}")
+        bound = bound.lower()
         try:
-            self._bound_factory = _BOUND_FACTORIES[bound.lower()]
+            self._bound_factory = _BOUND_FACTORIES[bound]
         except KeyError:
             raise GraphValidationError(
                 f"unknown bound {bound!r}; choose from {sorted(_BOUND_FACTORIES)}"
             ) from None
         self._spec = spec
         self._m = m
+        self._default_operator = f"b-idj-{bound}"
+        self._plan = plan
         self.stats = PartialJoinIncStats()
 
     def run(self) -> List[CandidateAnswer]:
@@ -71,18 +81,24 @@ class PartialJoinIncremental:
         spec = self._spec
         if spec.k == 0:
             return []
-        inputs = []
+        plan = spec.resolve_plan(
+            "pj-i",
+            plan=self._plan,
+            default_operator=self._default_operator,
+            m=self._m,
+        )
+        self.plan = plan
+        num_edges = spec.query_graph.num_edges
+        inputs: List[LazyInput] = [None] * num_edges
         joins = []
-        for e in range(spec.query_graph.num_edges):
+        for e in plan.build_order:
             context = spec.edge_context(e)
             join = IncrementalTwoWayJoin(context, bound_factory=self._bound_factory)
             joins.append(join)
-            inputs.append(
-                LazyInput(
-                    join.top(self._m),
-                    refill=join.next_pair,
-                    name=spec.query_graph.edge_name(e),
-                )
+            inputs[e] = LazyInput(
+                join.top(self._m),
+                refill=join.next_pair,
+                name=spec.query_graph.edge_name(e),
             )
         driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
         answers = driver.run()
@@ -92,6 +108,8 @@ class PartialJoinIncremental:
         return answers
 
 
-def partial_join_incremental(spec: NWayJoinSpec, m: int = 50, bound: str = "y"):
+def partial_join_incremental(
+    spec: NWayJoinSpec, m: int = 50, bound: str = "y", plan=None
+):
     """Convenience: run ``PJ-i`` on a spec and return its answers."""
-    return PartialJoinIncremental(spec, m=m, bound=bound).run()
+    return PartialJoinIncremental(spec, m=m, bound=bound, plan=plan).run()

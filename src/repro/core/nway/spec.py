@@ -66,6 +66,16 @@ class NWayJoinSpec:
         cache evicts least-recent targets until its retained vectors and
         resumable buffers fit, so a long n-way join's cache footprint is
         bounded no matter how many targets its edges touch.
+    plan:
+        How executors order and implement the per-edge joins:
+        ``"fixed"`` (default) keeps index order with each executor's
+        default operator — the pre-planner behaviour and the planner's
+        bit-identity oracle; ``"auto"`` lets the cost-based planner
+        (:mod:`repro.planner`) choose edge order, operators, and knobs
+        from degree/skew statistics; an
+        :class:`~repro.planner.plan.ExplainedPlan` instance replays a
+        previously computed plan verbatim.  Resolution happens lazily
+        in :meth:`resolve_plan` — the core layer holds only the value.
     measure:
         Optional :class:`repro.extensions.measures.SeriesMeasure`
         (duck-typed; the core layer never imports ``extensions``).
@@ -95,9 +105,23 @@ class NWayJoinSpec:
     share_bounds: bool = True
     max_block_bytes: Optional[int] = None
     walk_cache_bytes: Optional[int] = None
+    plan: object = "fixed"
     measure: Optional[object] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.plan, str):
+            normalized = self.plan.lower()
+            if normalized not in ("fixed", "auto"):
+                raise GraphValidationError(
+                    f"plan must be 'fixed', 'auto', or an ExplainedPlan; "
+                    f"got {self.plan!r}"
+                )
+            self.plan = normalized
+        elif not hasattr(self.plan, "build_order"):
+            raise GraphValidationError(
+                f"plan must be 'fixed', 'auto', or an ExplainedPlan; "
+                f"got {self.plan!r}"
+            )
         if self.measure is not None:
             if self.params is not None or self.d is not None or self.epsilon is not None:
                 raise GraphValidationError(
@@ -141,6 +165,34 @@ class NWayJoinSpec:
             raise GraphValidationError(
                 f"max_block_bytes must be >= 1, got {self.max_block_bytes}"
             )
+
+    def resolve_plan(
+        self,
+        strategy: str,
+        plan: object = None,
+        default_operator: Optional[str] = None,
+        m: int = 50,
+        feedback: Optional[object] = None,
+    ):
+        """The :class:`~repro.planner.plan.ExplainedPlan` an executor
+        should follow for ``strategy`` (``"pj"``/``"pj-i"``/``"ap"``).
+
+        ``plan`` overrides this spec's own ``plan`` field; executors
+        pass their constructor override here.  The planner package is
+        imported lazily at call time, keeping the core layer free of a
+        static dependency on :mod:`repro.planner` (which itself builds
+        on core types).
+        """
+        from repro.planner.plan import resolve_spec_plan
+
+        return resolve_spec_plan(
+            self,
+            strategy,
+            plan=plan,
+            default_operator=default_operator,
+            m=m,
+            feedback=feedback,
+        )
 
     def edge_node_sets(self, edge_index: int) -> tuple:
         """The (left, right) node sets of query edge ``edge_index``."""

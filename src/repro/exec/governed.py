@@ -176,8 +176,9 @@ def run_governed_all_pairs(
 def _edge_join(spec: NWayJoinSpec, context, algorithm: str, deepening: bool):
     """The per-edge 2-way join object for a governed n-way strategy."""
     if spec.measure is not None:
-        cls = SeriesIDJ if deepening else SeriesBackwardJoin
-        return cls.from_context(context)
+        if deepening and algorithm != "basic":
+            return SeriesIDJ.from_context(context)
+        return SeriesBackwardJoin.from_context(context)
     if deepening:
         return two_way_algorithm_by_name(algorithm)(context)
     return BackwardBasicJoin(context)
@@ -190,6 +191,7 @@ def run_governed_multi_way(
     m: int = 50,
     two_way: str = "b-idj-y",
     on_budget: str = "partial",
+    plan=None,
 ) -> PartialResult:
     """A budgeted n-way join: ``PJ``-style prefixes or ``AP``.
 
@@ -201,6 +203,12 @@ def run_governed_multi_way(
     snapshot prefix (with intervals), its refills are disabled, and the
     final answers are flagged partial with componentwise-aggregated
     bounds.
+
+    ``plan`` (or ``spec.plan``) chooses edge build order — and, for the
+    ``PJ`` strategies, per-edge operators.  Plans only reorder which
+    walks the budget is spent on: soundness of the flagged intervals is
+    per-edge, so it holds under every build order (the planner
+    interaction tests pin this).
     """
     _check_policy(on_budget)
     name = algorithm.lower()
@@ -218,11 +226,25 @@ def run_governed_multi_way(
     if spec.k == 0:
         return PartialResult(results=[], bounds=[], exact=True)
 
+    if name == "ap":
+        default_operator = "basic" if spec.measure is not None else "b-bj"
+    elif spec.measure is not None:
+        default_operator = "idj"
+    else:
+        default_operator = two_way.lower()
+    edge_plan = spec.resolve_plan(
+        "ap" if name == "ap" else "pj",
+        plan=plan,
+        default_operator=default_operator,
+        m=m,
+    )
+
     reasons: List[str] = []
     intervals = {}  # (edge, left, right) -> (lower, upper)
-    inputs = []
-    for e in range(spec.query_graph.num_edges):
+    inputs = [None] * spec.query_graph.num_edges
+    for e in edge_plan.build_order:
         edge_name = spec.query_graph.edge_name(e)
+        operator = edge_plan.edges[e].operator
         try:
             context = spec.edge_context(e)
         except BudgetExhaustedError as exc:
@@ -230,24 +252,33 @@ def run_governed_multi_way(
             # contributes an empty stream (sound — no fabricated pairs).
             governor.count_budget_stop()
             reasons.append(exc.reason)
-            inputs.append(MaterializedInput([], name=edge_name))
+            inputs[e] = MaterializedInput([], name=edge_name)
             continue
         if name == "ap":
-            join = _edge_join(spec, context, two_way, deepening=False)
+            # The governed AP materialisers stay the snapshot-capable
+            # backward pair regardless of the plan operator — the plan
+            # contributes the build order.
+            join = _edge_join(spec, context, operator, deepening=False)
             partial = run_governed_all_pairs(join, governor, on_budget="partial")
             if not partial.exact:
                 reasons.append(partial.reason)
             for pair, interval in zip(partial.results, partial.bounds):
                 intervals[(e, pair.left, pair.right)] = interval
-            inputs.append(MaterializedInput(partial.results, name=edge_name))
+            inputs[e] = MaterializedInput(partial.results, name=edge_name)
             continue
         if spec.measure is not None:
-            provider = _SeriesRestartProvider(context, m)
+            provider = _SeriesRestartProvider(
+                context,
+                m,
+                join_cls=(
+                    SeriesBackwardJoin if operator == "basic" else SeriesIDJ
+                ),
+            )
         else:
             provider = _RestartProvider(
-                context, two_way_algorithm_by_name(two_way), m
+                context, two_way_algorithm_by_name(operator), m
             )
-        join = _edge_join(spec, context, two_way, deepening=True)
+        join = _edge_join(spec, context, operator, deepening=True)
         partial = run_governed_top_k(join, m, governor, on_budget="partial")
         for pair, interval in zip(partial.results, partial.bounds):
             intervals[(e, pair.left, pair.right)] = interval
@@ -268,16 +299,14 @@ def run_governed_multi_way(
                 if pair is not None:
                     intervals[(e, pair.left, pair.right)] = (pair.score, pair.score)
                 return pair
-            inputs.append(
-                LazyInput(partial.results, refill=refill, name=edge_name)
-            )
+            inputs[e] = LazyInput(partial.results, refill=refill, name=edge_name)
         else:
             # A snapshot prefix is ranked by lower bounds; a restart
             # refill could emit a pair the prefix already contains,
             # violating PBRJ's sorted-stream contract — so the stopped
             # edge's stream ends at its prefix.
             reasons.append(partial.reason)
-            inputs.append(MaterializedInput(partial.results, name=edge_name))
+            inputs[e] = MaterializedInput(partial.results, name=edge_name)
 
     driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
     try:

@@ -494,13 +494,19 @@ class SeriesAllPairsJoin:
 
     name = "Series-AP"
 
-    def __init__(self, spec: NWayJoinSpec, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+    def __init__(
+        self,
+        spec: NWayJoinSpec,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        plan=None,
+    ) -> None:
         if spec.measure is None:
             raise GraphValidationError(
                 "series n-way joins need a measure spec (NWayJoinSpec.measure)"
             )
         self._spec = spec
         self._block_size = block_size
+        self._plan = plan
         self.stats = None
 
     def run(self) -> List[CandidateAnswer]:
@@ -508,15 +514,21 @@ class SeriesAllPairsJoin:
         spec = self._spec
         if spec.k == 0:
             return []
-        inputs = []
-        for e in range(spec.query_graph.num_edges):
+        plan = spec.resolve_plan("ap", plan=self._plan, default_operator="basic")
+        self.plan = plan
+        num_edges = spec.query_graph.num_edges
+        inputs = [None] * num_edges
+        for e in plan.build_order:
+            # A caller's explicit block width beats the plan's knob.
+            block_size = self._block_size
+            ep = plan.edges[e]
+            if block_size == DEFAULT_BLOCK_SIZE and ep.block_size is not None:
+                block_size = ep.block_size
             join = SeriesBackwardJoin.from_context(
-                spec.edge_context(e), block_size=self._block_size
+                spec.edge_context(e), block_size=block_size
             )
-            inputs.append(
-                MaterializedInput(
-                    sort_pairs(join.all_pairs()), name=spec.query_graph.edge_name(e)
-                )
+            inputs[e] = MaterializedInput(
+                sort_pairs(join.all_pairs()), name=spec.query_graph.edge_name(e)
             )
         driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
         answers = driver.run()
@@ -532,20 +544,21 @@ class _SeriesRestartProvider:
     re-propagating, exactly like the DHT ``PJ``.
     """
 
-    def __init__(self, context: TwoWayContext, m: int) -> None:
+    def __init__(self, context: TwoWayContext, m: int, join_cls=None) -> None:
         self._context = context
         self._m = m
+        self._join_cls = join_cls if join_cls is not None else SeriesIDJ
         self.restarts = 0
 
     def initial(self) -> List[ScoredPair]:
-        return SeriesIDJ.from_context(self._context).top_k(self._m)
+        return self._join_cls.from_context(self._context).top_k(self._m)
 
     def next_pair(self) -> Optional[ScoredPair]:
         if self._m >= self._context.num_pairs:
             return None
         self._m += 1
         self.restarts += 1
-        result = SeriesIDJ.from_context(self._context).top_k(self._m)
+        result = self._join_cls.from_context(self._context).top_k(self._m)
         if len(result) < self._m:
             return None
         return result[-1]
@@ -562,7 +575,11 @@ class SeriesPartialJoin:
 
     name = "Series-PJ"
 
-    def __init__(self, spec: NWayJoinSpec, m: int = 50) -> None:
+    # Planner operator names -> per-edge join classes (the series twin
+    # of ``partial_join._TWO_WAY_ALGORITHMS``).
+    _OPERATORS = None  # filled in after class definitions below
+
+    def __init__(self, spec: NWayJoinSpec, m: int = 50, plan=None) -> None:
         if spec.measure is None:
             raise GraphValidationError(
                 "series n-way joins need a measure spec (NWayJoinSpec.measure)"
@@ -571,6 +588,7 @@ class SeriesPartialJoin:
             raise GraphValidationError(f"m must be >= 0, got {m}")
         self._spec = spec
         self._m = m
+        self._plan = plan
         self.stats = PartialJoinStats()
 
     def run(self) -> List[CandidateAnswer]:
@@ -578,17 +596,23 @@ class SeriesPartialJoin:
         spec = self._spec
         if spec.k == 0:
             return []
-        inputs = []
+        plan = spec.resolve_plan(
+            "pj", plan=self._plan, default_operator="idj", m=self._m
+        )
+        self.plan = plan
+        num_edges = spec.query_graph.num_edges
+        inputs: List[Optional[LazyInput]] = [None] * num_edges
         providers = []
-        for e in range(spec.query_graph.num_edges):
-            provider = _SeriesRestartProvider(spec.edge_context(e), self._m)
+        for e in plan.build_order:
+            join_cls = self._OPERATORS[plan.edges[e].operator]
+            provider = _SeriesRestartProvider(
+                spec.edge_context(e), self._m, join_cls=join_cls
+            )
             providers.append(provider)
-            inputs.append(
-                LazyInput(
-                    provider.initial(),
-                    refill=provider.next_pair,
-                    name=spec.query_graph.edge_name(e),
-                )
+            inputs[e] = LazyInput(
+                provider.initial(),
+                refill=provider.next_pair,
+                name=spec.query_graph.edge_name(e),
             )
         driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
         answers = driver.run()
@@ -596,6 +620,12 @@ class SeriesPartialJoin:
         self.stats.rank_join_pulls = driver.stats.pulls
         self.stats.pulls_per_edge = driver.stats.pulls_per_edge
         return answers
+
+
+SeriesPartialJoin._OPERATORS = {
+    "idj": SeriesIDJ,
+    "basic": SeriesBackwardJoin,
+}
 
 
 _SERIES_NWAY = ("ap", "pj", "pj-i")
@@ -614,6 +644,7 @@ def series_multi_way_join(
     share_walks: bool = True,
     share_bounds: bool = True,
     max_block_bytes: Optional[int] = None,
+    plan: object = "fixed",
 ) -> List[CandidateAnswer]:
     """Top-``k`` n-way join under an arbitrary series measure.
 
@@ -625,7 +656,9 @@ def series_multi_way_join(
     cache and one bound cache (disable with ``share_walks`` /
     ``share_bounds``), both keyed by the measure.  ``max_block_bytes``
     caps each edge's resumable walk block (bounded-memory rounds with
-    walk-cache spill), forwarded uniformly through the spec.
+    walk-cache spill), forwarded uniformly through the spec.  ``plan``
+    (``"fixed"``/``"auto"``/an ``ExplainedPlan``) hands edge order and
+    per-edge operator choice to the cost-based planner.
     """
     spec = NWayJoinSpec(
         graph=graph,
@@ -638,6 +671,7 @@ def series_multi_way_join(
         share_walks=share_walks,
         share_bounds=share_bounds,
         max_block_bytes=max_block_bytes,
+        plan=plan,
     )
     name = algorithm.lower()
     if name == "ap":

@@ -121,6 +121,7 @@ def test_bench_report_not_stale():
     assert payload.get("budget_quality"), (
         "schema 5 reports carry budget-quality rows"
     )
+    assert payload.get("planner"), "schema 6 reports carry planner rows"
 
 
 def test_bench_report_claims_hold():
@@ -161,6 +162,16 @@ def test_bench_report_claims_hold():
             assert row["idj_resumable_steps"] < row["idj_seed_steps"]
             assert row["nway_bound_cache_hits"] > 0
     assert {"ppr", "simrank"} <= measures_seen
+    planner_scenarios = set()
+    for row in payload["planner"]:
+        planner_scenarios.add(row["scenario"])
+        assert row["answers_match_fixed"] and row["answers_match_worst"]
+        assert row["auto_steps"] <= row["fixed_steps"]
+        assert row["auto_steps"] <= row["worst_steps"]
+        if row["scenario"] == "skewed-star":
+            assert row["step_reduction_vs_worst"] >= 1.2
+            assert row["auto_order"] != row["fixed_order"]
+    assert {"skewed-star", "chain"} <= planner_scenarios
 
 
 @pytest.mark.parametrize(
