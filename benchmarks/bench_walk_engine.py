@@ -61,6 +61,8 @@ from __future__ import annotations
 import math
 import os
 import sys
+import threading
+import time
 
 import numpy as np
 
@@ -86,6 +88,8 @@ from repro.extensions.series_join import (
 )
 from repro.extensions.simrank import SimRankMeasure
 from repro.graph.builders import erdos_renyi, preferential_attachment
+from repro.service import MultiWayRequest, QueryService, TwoWayRequest
+from repro.service.stats import percentile
 from repro.walks.cache import WalkCache
 from repro.walks.engine import WalkEngine
 
@@ -121,6 +125,14 @@ BUDGET_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0)
 # the build-phase walk costs the planner reorders dominate the counter.
 PLANNER_M = 200
 PLANNER_SCENARIOS = ("skewed-star", "chain")
+# Service arms (schema 7): concurrent client counts submitting a seeded
+# mixed workload against a 4-worker QueryService; the mix repeats node
+# sets so cross-query sharing has something to share.
+SERVICE_CLIENTS = (1, 4, 8)
+SERVICE_WORKERS = 4
+SERVICE_REQUESTS = 48
+SERVICE_SET_SIZE = 32
+SERVICE_K = 10
 REPORT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_walks.json",
@@ -669,6 +681,126 @@ def bench_planner(scenario: str) -> dict:
     }
 
 
+def _service_mix(num_nodes: int, rng) -> list:
+    """A seeded mixed request workload with deliberately repeated sets."""
+    nodes = rng.permutation(num_nodes)
+    pools = [
+        tuple(sorted(
+            int(u) for u in
+            nodes[i * SERVICE_SET_SIZE:(i + 1) * SERVICE_SET_SIZE]
+        ))
+        for i in range(4)
+    ]
+    requests = []
+    for _ in range(SERVICE_REQUESTS):
+        roll = int(rng.integers(100))
+        left = pools[int(rng.integers(len(pools)))]
+        right = pools[int(rng.integers(len(pools)))]
+        if roll < 60:
+            requests.append(TwoWayRequest(left, right, k=SERVICE_K))
+        elif roll < 80:
+            requests.append(
+                TwoWayRequest(left, right, k=SERVICE_K, measure="ppr")
+            )
+        else:
+            third = pools[int(rng.integers(len(pools)))]
+            requests.append(MultiWayRequest(
+                query_edges=((0, 1), (1, 2)),
+                node_sets=(left, right, third),
+                k=5,
+                plan="fixed",
+            ))
+    return requests
+
+
+def _service_pass(service, requests, clients: int):
+    """One replay of the mix from ``clients`` submitter threads.
+
+    Returns ``(elapsed_seconds, responses)`` with responses in request
+    order regardless of which client carried them.
+    """
+    responses = [None] * len(requests)
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index):
+        barrier.wait()
+        for i in range(index, len(requests), clients):
+            responses[i] = service.query(requests[i], timeout=600.0)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return elapsed, responses
+
+
+def _service_rows(responses) -> list:
+    rows = []
+    for response in responses:
+        if not response.ok:
+            rows.append(("!", response.status))
+            continue
+        for item in response.result.results:
+            if hasattr(item, "nodes"):
+                rows.append((tuple(item.nodes), item.score))
+            else:
+                rows.append((item.left, item.right, item.score))
+    return rows
+
+
+def bench_service(topology: str, num_nodes: int, clients: int) -> dict:
+    """One service arm: the mix replayed cold then warm (schema 7).
+
+    The cold pass starts with empty tiers; the warm pass replays the
+    same mix against the same service, so its cross-query hit rate must
+    be strictly higher — that delta *is* the sharing payoff, and the
+    answers must be identical either way.
+    """
+    graph = _graph(topology, num_nodes)
+    rng = np.random.default_rng(num_nodes + 77)
+    requests = _service_mix(num_nodes, rng)
+    with QueryService(
+        graph, workers=SERVICE_WORKERS, queue_depth=len(requests)
+    ) as service:
+        cold_elapsed, cold = _service_pass(service, requests, clients)
+        cold_stats = service.stats()
+        warm_elapsed, warm = _service_pass(service, requests, clients)
+        warm_stats = service.stats()
+    warm_hits = warm_stats.walk_cache_hits - cold_stats.walk_cache_hits
+    warm_lookups = warm_hits + (
+        warm_stats.walk_cache_misses - cold_stats.walk_cache_misses
+    )
+    cold_latencies = sorted(r.latency_ms for r in cold if r.ok)
+    warm_latencies = sorted(r.latency_ms for r in warm if r.ok)
+    return {
+        "topology": topology,
+        "nodes": num_nodes,
+        "clients": clients,
+        "workers": SERVICE_WORKERS,
+        "requests": len(requests),
+        "completed": warm_stats.completed,
+        "rejected": warm_stats.rejected,
+        "errors": warm_stats.errors,
+        "cold_qps": len(requests) / cold_elapsed if cold_elapsed > 0 else 0.0,
+        "warm_qps": len(requests) / warm_elapsed if warm_elapsed > 0 else 0.0,
+        "cold_p50_ms": percentile(cold_latencies, 0.50),
+        "cold_p99_ms": percentile(cold_latencies, 0.99),
+        "warm_p50_ms": percentile(warm_latencies, 0.50),
+        "warm_p99_ms": percentile(warm_latencies, 0.99),
+        "cold_walk_hit_rate": cold_stats.walk_cache_hit_rate,
+        "warm_walk_hit_rate": (
+            warm_hits / warm_lookups if warm_lookups else 1.0
+        ),
+        "answers_match": _service_rows(cold) == _service_rows(warm),
+    }
+
+
 def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
     """Run the sweep, print a summary, and write the JSON report."""
     results = []
@@ -759,6 +891,24 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
             f"bound={sr_row['nway_bound_cache_hits']} "
             f"(match={sr_row['nway_answers_match']})"
         )
+    service_results = []
+    for topology in TOPOLOGIES:
+        # The client sweep runs at the smallest size: the section is
+        # about contention and cache temperature, not graph scale.
+        for clients in SERVICE_CLIENTS:
+            s_row = bench_service(topology, min(sizes), clients)
+            service_results.append(s_row)
+            print(
+                f"{s_row['topology']:>12} n={s_row['nodes']:>6}  "
+                f"service x{s_row['clients']} clients  "
+                f"qps {s_row['cold_qps']:.0f} -> {s_row['warm_qps']:.0f}  "
+                f"p50 {s_row['warm_p50_ms']:.1f} ms  "
+                f"p99 {s_row['warm_p99_ms']:.1f} ms  "
+                f"walk-hit {s_row['cold_walk_hit_rate']:.2f} -> "
+                f"{s_row['warm_walk_hit_rate']:.2f}  "
+                f"(match={s_row['answers_match']}, "
+                f"rejected={s_row['rejected']})"
+            )
     planner_results = []
     for scenario in PLANNER_SCENARIOS:
         p_row = bench_planner(scenario)
@@ -781,6 +931,7 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
         "bounded_series": bounded_series_results,
         "budget_quality": budget_quality_results,
         "planner": planner_results,
+        "service": service_results,
     }
     write_json_report(report_path, payload)
     print(f"wrote {report_path}")
@@ -869,6 +1020,20 @@ def test_planner_auto_beats_worst_order():
     assert chain["answers_match_worst"], chain
     assert chain["auto_steps"] <= chain["fixed_steps"], chain
     assert chain["auto_steps"] <= chain["worst_steps"], chain
+
+
+def test_service_warm_cache_beats_cold_with_identical_answers():
+    """CI smoke bar for the serving layer (schema 7): under concurrent
+    clients the warm replay's cross-query hit rate is strictly higher
+    than the cold pass's, answers are identical on both passes, and
+    nothing is rejected or errored at this load."""
+    for topology in TOPOLOGIES:
+        row = bench_service(topology, SMOKE_SIZES[0], clients=4)
+        assert row["answers_match"], row
+        assert row["rejected"] == 0 and row["errors"] == 0, row
+        assert row["completed"] == 2 * row["requests"], row
+        assert row["warm_walk_hit_rate"] > row["cold_walk_hit_rate"], row
+        assert row["warm_p99_ms"] >= row["warm_p50_ms"] >= 0.0, row
 
 
 def test_measure_rows_equivalent_with_cache_hits():

@@ -263,7 +263,9 @@ def multi_way_join(
     d: Optional[int] = None,
     epsilon: Optional[float] = None,
     engine: Optional[WalkEngine] = None,
+    walk_cache: Optional[WalkCache] = None,
     share_walks: bool = True,
+    bound_cache: Optional[BoundPlanCache] = None,
     share_bounds: bool = True,
     max_block_bytes: Optional[int] = None,
     walk_cache_bytes: Optional[int] = None,
@@ -294,15 +296,21 @@ def multi_way_join(
         Monotone ``f`` over per-edge DHT scores (default ``MIN``).
     m:
         Prefix length for ``PJ``/``PJ-i`` (ignored by ``NL``/``AP``).
-    share_walks:
-        Share one walk cache across all query edges (default), so
-        overlapping node sets never walk the same target twice.  Disable
-        to reproduce the seed's per-edge walk costs.
-    share_bounds:
-        Share one bound/plan cache across all query edges (default), so
-        edges that agree on the left node set build each ``Y`` bound and
-        restricted-tail plan once.  Disable to reproduce the per-edge
-        build costs.
+    walk_cache / share_walks:
+        ``share_walks`` (default) shares one walk cache across all query
+        edges, so overlapping node sets never walk the same target
+        twice; disable to reproduce the seed's per-edge walk costs.
+        Pass an explicit ``walk_cache`` (bound to the same engine and
+        measure identity) to share it across *calls* as well — hot
+        targets from one query warm the next, which is how the
+        :class:`repro.service.QueryService` tier amortises walks across
+        users.
+    bound_cache / share_bounds:
+        ``share_bounds`` (default) shares one bound/plan cache across
+        all query edges, so edges that agree on the left node set build
+        each ``Y`` bound and restricted-tail plan once; disable to
+        reproduce the per-edge build costs.  An explicit ``bound_cache``
+        is shared across calls like ``walk_cache``.
     max_block_bytes:
         Optional byte ceiling on each edge's resumable walk block; see
         :class:`~repro.core.two_way.base.TwoWayContext`.
@@ -357,7 +365,9 @@ def multi_way_join(
                 aggregate=aggregate,
                 engine=engine,
                 measure=resolved,
+                walk_cache=walk_cache,
                 share_walks=share_walks,
+                bound_cache=bound_cache,
                 share_bounds=share_bounds,
                 max_block_bytes=max_block_bytes,
                 walk_cache_bytes=walk_cache_bytes,
@@ -373,9 +383,12 @@ def multi_way_join(
             engine=engine,
             algorithm=name,
             m=m,
+            walk_cache=walk_cache,
             share_walks=share_walks,
+            bound_cache=bound_cache,
             share_bounds=share_bounds,
             max_block_bytes=max_block_bytes,
+            walk_cache_bytes=walk_cache_bytes,
             plan=plan,
         )
     name = algorithm.lower()
@@ -395,7 +408,9 @@ def multi_way_join(
         d=d,
         epsilon=epsilon,
         engine=engine,
+        walk_cache=walk_cache,
         share_walks=share_walks,
+        bound_cache=bound_cache,
         share_bounds=share_bounds,
         max_block_bytes=max_block_bytes,
         walk_cache_bytes=walk_cache_bytes,
@@ -418,6 +433,32 @@ def multi_way_join(
     )
 
 
+def serve(graph: Graph, **config) -> "object":
+    """A running :class:`~repro.service.QueryService` over ``graph``.
+
+    The service loads the graph once (one engine, one transition
+    matrix), keeps one shared walk/bound cache pair per measure
+    identity so hot targets from one user's query warm the next
+    user's, and executes :class:`~repro.service.TwoWayRequest` /
+    :class:`~repro.service.MultiWayRequest` /
+    :class:`~repro.service.ExplainRequest` values on a pool of worker
+    threads with admission control (``workers``, ``queue_depth``,
+    ``max_in_flight``, ``default_budget`` — see
+    :class:`~repro.service.QueryService` for every knob).
+
+    Use as a context manager (or call ``close()``)::
+
+        with serve(graph, workers=4) as service:
+            response = service.query(TwoWayRequest(left, right, k=10))
+
+    The service package is imported lazily so the one-shot API keeps
+    zero serving-layer overhead.
+    """
+    from repro.service import QueryService
+
+    return QueryService(graph, **config)
+
+
 def explain_multi_way_plan(
     graph: Graph,
     query_graph: QueryGraph,
@@ -430,7 +471,9 @@ def explain_multi_way_plan(
     d: Optional[int] = None,
     epsilon: Optional[float] = None,
     engine: Optional[WalkEngine] = None,
+    walk_cache: Optional[WalkCache] = None,
     share_walks: bool = True,
+    bound_cache: Optional[BoundPlanCache] = None,
     share_bounds: bool = True,
     max_block_bytes: Optional[int] = None,
     walk_cache_bytes: Optional[int] = None,
@@ -465,7 +508,9 @@ def explain_multi_way_plan(
             aggregate=aggregate,
             engine=engine,
             measure=resolved,
+            walk_cache=walk_cache,
             share_walks=share_walks,
+            bound_cache=bound_cache,
             share_bounds=share_bounds,
             max_block_bytes=max_block_bytes,
             walk_cache_bytes=walk_cache_bytes,
@@ -495,7 +540,9 @@ def explain_multi_way_plan(
         d=d,
         epsilon=epsilon,
         engine=engine,
+        walk_cache=walk_cache,
         share_walks=share_walks,
+        bound_cache=bound_cache,
         share_bounds=share_bounds,
         max_block_bytes=max_block_bytes,
         walk_cache_bytes=walk_cache_bytes,

@@ -46,6 +46,7 @@ into :class:`repro.walks.engine.WalkEngineStats` (``bound_cache_hits``,
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Tuple
@@ -114,6 +115,12 @@ class BoundPlanCache:
         self._params = params
         self._max_entries = max_entries
         self._entries: "OrderedDict[Key, object]" = OrderedDict()
+        # Shared across concurrent queries by the service tier: one
+        # re-entrant lock serialises lookup-or-build and the LRU, so an
+        # artifact is built at most once even under contention (a
+        # governed build may checkpoint back into this cache, hence
+        # re-entrant).
+        self._lock = threading.RLock()
         self.stats = BoundCacheStats()
 
     @property
@@ -132,11 +139,13 @@ class BoundPlanCache:
         return self._max_entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every cached artifact (stats are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @staticmethod
     def node_set_key(nodes: Iterable[int]) -> Tuple[int, ...]:
@@ -171,7 +180,8 @@ class BoundPlanCache:
         already-paid-for reach-mass tails without perturbing either the
         cache or the engine's accounting.
         """
-        return self._entries.get(("y", self.node_set_key(sources), int(d)))
+        with self._lock:
+            return self._entries.get(("y", self.node_set_key(sources), int(d)))
 
     def tail_plan(self, rows: Iterable[int], d: int, build: Callable[[], object]):
         """The restricted-tail plan for ``rows`` at depth ``d``.
@@ -197,28 +207,29 @@ class BoundPlanCache:
     # ------------------------------------------------------------------
 
     def _get(self, key: Key, build: Callable[[], object]):
-        artifact = self._entries.get(key)
-        if artifact is not None:
-            self._entries.move_to_end(key)
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is not None:
+                self._entries.move_to_end(key)
+                if key[0] == "y":
+                    self.stats.y_hits += 1
+                    self._engine.stats.add("bound_cache_hits", 1)
+                elif key[0] == "x":
+                    self.stats.x_hits += 1
+                    self._engine.stats.add("bound_cache_hits", 1)
+                else:
+                    self.stats.plan_hits += 1
+                    self._engine.stats.add("plan_cache_hits", 1)
+                return artifact
+            artifact = build()
             if key[0] == "y":
-                self.stats.y_hits += 1
-                self._engine.stats.bound_cache_hits += 1
+                self.stats.y_builds += 1
             elif key[0] == "x":
-                self.stats.x_hits += 1
-                self._engine.stats.bound_cache_hits += 1
+                self.stats.x_builds += 1
             else:
-                self.stats.plan_hits += 1
-                self._engine.stats.plan_cache_hits += 1
+                self.stats.plan_builds += 1
+            self._entries[key] = artifact
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
             return artifact
-        artifact = build()
-        if key[0] == "y":
-            self.stats.y_builds += 1
-        elif key[0] == "x":
-            self.stats.x_builds += 1
-        else:
-            self.stats.plan_builds += 1
-        self._entries[key] = artifact
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return artifact

@@ -17,15 +17,29 @@ Usage (after ``pip install -e .``)::
     # dataset statistics
     python -m repro stats graph.tsv
 
+    # serve a JSON request mix through the concurrent query service
+    python -m repro serve graph.tsv --sets sets.json \\
+        --requests requests.json --workers 4
+
+    # throughput/latency sweep: replay the mix, cold vs warm caches
+    python -m repro bench-service graph.tsv --sets sets.json \\
+        --requests requests.json --workers 4 --runs 3
+
 Graphs are TSV edge lists with a ``# nodes: N`` header
 (:mod:`repro.graph.io`); node sets are JSON ``{"name": [ids...]}``.
+The ``--requests`` file is a JSON list of request objects, e.g.
+``[{"type": "two-way", "left": "DB", "right": "AI", "k": 5},
+{"type": "multi-way", "shape": "chain", "node_sets": ["DB", "AI"],
+"k": 5, "measure": "ppr"}]`` (``type`` also accepts ``"explain"``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.api import explain_multi_way_plan, multi_way_join, two_way_join
@@ -151,6 +165,47 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print graph statistics")
     stats.add_argument("graph")
     stats.add_argument("--json", action="store_true", dest="as_json")
+
+    def add_service_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", help="TSV edge list with a '# nodes: N' header")
+        p.add_argument("--sets", required=True, help="JSON node-set file")
+        p.add_argument("--requests", required=True,
+                       help="JSON list of request objects (see module docs)")
+        p.add_argument("--workers", type=int, default=4,
+                       help="worker threads in the service pool")
+        p.add_argument("--queue-depth", type=int, default=32,
+                       help="max requests waiting for a worker before "
+                            "admission control rejects")
+        p.add_argument("--max-in-flight", type=int, default=None,
+                       help="ceiling on admitted-but-unfinished requests "
+                            "(default workers + queue depth)")
+        p.add_argument("--decay", type=float, default=0.2, help="lambda")
+        p.add_argument("--epsilon", type=float, default=1e-6,
+                       help="truncation error target (Lemma 1)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-query wall budget (requests "
+                            "without their own budget run under this; "
+                            "queue wait counts against it)")
+        p.add_argument("--step-budget", type=int, default=None,
+                       help="default per-query propagation-step budget")
+        p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit machine-readable JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a JSON request mix through the concurrent query service",
+    )
+    add_service_common(serve)
+
+    bench = sub.add_parser(
+        "bench-service",
+        help="replay the request mix repeatedly: QPS/p50/p99 and "
+             "cold-vs-warm cache-hit rates",
+    )
+    add_service_common(bench)
+    bench.add_argument("--runs", type=int, default=3,
+                       help="replay passes over the mix (pass 1 is the "
+                            "cold arm, the last pass the warm arm)")
     return parser
 
 
@@ -349,6 +404,244 @@ def _run_multi_way(args) -> int:
     return 0
 
 
+def _resolve_members(node_sets: dict, value, path: str) -> List[int]:
+    """A node list from a set name or an explicit id list."""
+    if isinstance(value, str):
+        if value not in node_sets:
+            raise GraphValidationError(
+                f"node set {value!r} not in {path} "
+                f"(available: {sorted(node_sets)})"
+            )
+        return node_sets[value]
+    return [int(u) for u in value]
+
+
+def _parse_requests(path: str, sets_path: str) -> List[object]:
+    """The request objects described by the ``--requests`` JSON file.
+
+    Each entry is ``{"type": "two-way" | "multi-way" | "explain", ...}``;
+    node sets are named (resolved through ``--sets``) or explicit id
+    lists, and multi-way entries give either a ``shape`` or explicit
+    ``query_edges``.  Per-entry ``deadline_ms`` / ``step_budget`` keys
+    become that request's own :class:`~repro.exec.budget.QueryBudget`.
+    """
+    from repro.service import ExplainRequest, MultiWayRequest, TwoWayRequest
+
+    node_sets = read_node_sets(sets_path)
+    with open(path, "r", encoding="utf-8") as handle:
+        entries = json.load(handle)
+    if not isinstance(entries, list) or not entries:
+        raise GraphValidationError(
+            f"{path} must hold a non-empty JSON list of request objects"
+        )
+    requests: List[object] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "type" not in entry:
+            raise GraphValidationError(
+                f"request #{index} in {path} needs a 'type' key"
+            )
+        kind = entry["type"]
+        required = (
+            ("left", "right") if kind == "two-way"
+            else ("node_sets",) if kind in ("multi-way", "explain")
+            else ()
+        )
+        for key in required:
+            if key not in entry:
+                raise GraphValidationError(
+                    f"request #{index} ({kind}) in {path} needs a "
+                    f"{key!r} key"
+                )
+        budget = None
+        if entry.get("deadline_ms") is not None or entry.get("step_budget") is not None:
+            budget = QueryBudget(
+                deadline_ms=entry.get("deadline_ms"),
+                step_budget=entry.get("step_budget"),
+            )
+        k = int(entry.get("k", 10))
+        measure = entry.get("measure")
+        if kind == "two-way":
+            requests.append(TwoWayRequest(
+                left=_resolve_members(node_sets, entry["left"], sets_path),
+                right=_resolve_members(node_sets, entry["right"], sets_path),
+                k=k,
+                algorithm=entry.get("algorithm", "b-idj-y"),
+                measure=measure,
+                budget=budget,
+            ))
+            continue
+        if kind not in ("multi-way", "explain"):
+            raise GraphValidationError(
+                f"request #{index}: unknown type {kind!r} (expected "
+                "'two-way', 'multi-way', or 'explain')"
+            )
+        sets = [
+            _resolve_members(node_sets, value, sets_path)
+            for value in entry["node_sets"]
+        ]
+        if "query_edges" in entry:
+            edges = [(int(i), int(j)) for i, j in entry["query_edges"]]
+        else:
+            names = [str(value) for value in entry["node_sets"]]
+            query = _query_graph(
+                entry.get("shape", "chain"), len(sets),
+                bool(entry.get("bidirectional", False)), names,
+            )
+            edges = [(edge[0], edge[1]) for edge in query.edges]
+        common = dict(
+            query_edges=edges,
+            node_sets=sets,
+            k=k,
+            algorithm=entry.get("algorithm", "pj-i"),
+            m=int(entry.get("m", 50)),
+            measure=measure,
+        )
+        if kind == "explain":
+            requests.append(ExplainRequest(
+                plan=entry.get("plan", "auto"), **common
+            ))
+        else:
+            requests.append(MultiWayRequest(
+                plan=entry.get("plan", "fixed"), budget=budget, **common
+            ))
+    return requests
+
+
+def _response_payload(response) -> dict:
+    """A JSON-ready row for one :class:`QueryResponse`."""
+    row: dict = {
+        "type": type(response.request).__name__,
+        "status": response.status,
+        "queued_ms": round(response.queued_ms, 3),
+        "latency_ms": round(response.latency_ms, 3),
+    }
+    if response.error is not None:
+        row["error"] = response.error
+    result = response.result
+    if not response.ok or result is None:
+        return row
+    if isinstance(result, PartialResult):
+        row["exact"] = result.exact
+        if not result.exact:
+            row["reason"] = result.reason
+        rows = []
+        for item in result.results:
+            if hasattr(item, "nodes"):
+                rows.append({"nodes": list(item.nodes), "score": item.score})
+            else:
+                rows.append({
+                    "left": item.left, "right": item.right, "score": item.score
+                })
+        row["results"] = rows
+    else:  # ExplainedPlan
+        row["plan"] = result.to_json()
+    return row
+
+
+def _service_from_args(args, graph):
+    from repro.service import QueryService
+
+    return QueryService(
+        graph,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_in_flight=args.max_in_flight,
+        default_budget=_budget(args),
+        params=DHTParams.dht_lambda(args.decay),
+        epsilon=args.epsilon,
+    )
+
+
+def _run_serve(args) -> int:
+    graph = read_edge_list(args.graph)
+    requests = _parse_requests(args.requests, args.sets)
+    with _service_from_args(args, graph) as service:
+        tickets = [service.submit(request) for request in requests]
+        responses = [ticket.result() for ticket in tickets]
+        snapshot = service.stats()
+    stats_row = dataclasses.asdict(snapshot)
+    if args.as_json:
+        print(json.dumps({
+            "responses": [_response_payload(r) for r in responses],
+            "stats": stats_row,
+        }))
+        return 0
+    for rank, response in enumerate(responses, start=1):
+        kind = type(response.request).__name__.replace("Request", "").lower()
+        if response.ok:
+            result = response.result
+            if isinstance(result, PartialResult):
+                shape = "exact" if result.exact else f"partial/{result.reason}"
+                shape += f" ({len(result.results)} answers)"
+            else:
+                shape = "plan"
+            print(f"{rank:>4}  {kind:<9} ok        {shape:<28} "
+                  f"latency {response.latency_ms:8.2f} ms")
+        else:
+            print(f"{rank:>4}  {kind:<9} {response.status:<9} {response.error}")
+    print("# service stats")
+    for key, value in stats_row.items():
+        print(f"{key:>22}: {value:g}" if isinstance(value, float)
+              else f"{key:>22}: {value}")
+    return 0
+
+
+def _run_bench_service(args) -> int:
+    if args.runs < 2:
+        raise GraphValidationError(
+            f"bench-service needs --runs >= 2 for a cold/warm pair, "
+            f"got {args.runs}"
+        )
+    graph = read_edge_list(args.graph)
+    requests = _parse_requests(args.requests, args.sets)
+    from repro.service.stats import percentile
+
+    passes = []
+    with _service_from_args(args, graph) as service:
+        for run in range(1, args.runs + 1):
+            before = service.stats()
+            started = time.perf_counter()
+            tickets = [service.submit(request) for request in requests]
+            responses = [ticket.result() for ticket in tickets]
+            elapsed = time.perf_counter() - started
+            after = service.stats()
+            hits = after.walk_cache_hits - before.walk_cache_hits
+            misses = after.walk_cache_misses - before.walk_cache_misses
+            lookups = hits + misses
+            latencies = sorted(r.latency_ms for r in responses if r.ok)
+            completed = len(latencies)
+            passes.append({
+                "run": run,
+                "requests": len(responses),
+                "completed": completed,
+                "rejected": sum(1 for r in responses if r.rejected),
+                "qps": (completed / elapsed) if elapsed > 0 else 0.0,
+                "p50_ms": percentile(latencies, 0.50),
+                "p99_ms": percentile(latencies, 0.99),
+                "walk_cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            })
+    summary = {
+        "workers": args.workers,
+        "runs": args.runs,
+        "cold_hit_rate": passes[0]["walk_cache_hit_rate"],
+        "warm_hit_rate": passes[-1]["walk_cache_hit_rate"],
+        "passes": passes,
+    }
+    if args.as_json:
+        print(json.dumps(summary))
+        return 0
+    print(f"# bench-service: {len(requests)} requests x {args.runs} passes, "
+          f"{args.workers} workers")
+    for row in passes:
+        print(f"pass {row['run']:>2}  qps {row['qps']:8.1f}  "
+              f"p50 {row['p50_ms']:8.2f} ms  p99 {row['p99_ms']:8.2f} ms  "
+              f"walk-hit {row['walk_cache_hit_rate']:6.1%}  "
+              f"rejected {row['rejected']}")
+    print(f"# cold walk-hit {summary['cold_hit_rate']:.1%} -> "
+          f"warm {summary['warm_hit_rate']:.1%}")
+    return 0
+
+
 def _run_stats(args) -> int:
     graph = read_edge_list(args.graph)
     stats = graph.degree_statistics()
@@ -369,6 +662,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_two_way(args)
         if args.command == "multi-way":
             return _run_multi_way(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "bench-service":
+            return _run_bench_service(args)
         return _run_stats(args)
     except BudgetExhaustedError as exc:
         # --on-budget error: exhaustion is an explicit failure mode,

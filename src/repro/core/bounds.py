@@ -120,7 +120,7 @@ class YBound:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self._d = d
-        engine.stats.bound_builds += 1
+        engine.stats.add("bound_builds", 1)
         reach = engine.reach_mass_series(sources, d)  # (d, n)
         capped = np.minimum(reach, 1.0)
         weights = (params.alpha * params.decay ** np.arange(1, d + 1))[:, None]

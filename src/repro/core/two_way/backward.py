@@ -106,7 +106,7 @@ class _RestrictedTail:
     """
 
     def __init__(self, context: TwoWayContext, rows: np.ndarray) -> None:
-        context.engine.stats.plan_builds += 1
+        context.engine.stats.add("plan_builds", 1)
         transition = context.graph.transition_matrix()
         out_degrees = np.diff(transition.indptr)
         budget = transition.nnz // 2
@@ -185,8 +185,8 @@ def _block_scores_at_rows(
 
     # Step 1 is a column slice of T (the one-hot product), kept sparse.
     sparse_mass = engine.transition_columns()[:, targets].tocsr()
-    engine.stats.propagation_steps += width
-    engine.stats.sparse_products += 1
+    engine.stats.add("propagation_steps", int(width))
+    engine.stats.add("sparse_products", 1)
     acc = params.decay * np.asarray(sparse_mass[base].todense())
     mass = None
     restricted = None
@@ -207,8 +207,8 @@ def _block_scores_at_rows(
                 if pos < node_set.size and node_set[pos] == targets[column]:
                     restricted[pos, column] = 0.0
             restricted = tail.operators[consume_level - 1].dot(restricted)
-            engine.stats.propagation_steps += width
-            engine.stats.sparse_products += 1
+            engine.stats.add("propagation_steps", int(width))
+            engine.stats.add("sparse_products", 1)
             acc += params.decay ** i * restricted[
                 tail.row_positions[consume_level - 1], :
             ]
@@ -222,8 +222,8 @@ def _block_scores_at_rows(
             else:
                 _zero_targets_sparse(sparse_mass, targets)
                 sparse_mass = transition.dot(sparse_mass)
-                engine.stats.propagation_steps += width
-                engine.stats.sparse_products += 1
+                engine.stats.add("propagation_steps", int(width))
+                engine.stats.add("sparse_products", 1)
                 acc += params.decay ** i * np.asarray(
                     sparse_mass[base].todense()
                 )
@@ -337,7 +337,7 @@ class BackwardBasicJoin:
             try:
                 return _block_scores_at_rows(self._ctx, chunk, left, tail)
             except CorruptedWalkError:
-                self._ctx.engine.stats.degradations += 1
+                self._ctx.engine.stats.add("degradations", 1)
                 if attempt == REWALK_ATTEMPTS - 1:
                     raise
         raise AssertionError("unreachable")
@@ -363,7 +363,7 @@ class BackwardBasicJoin:
                         ctx.engine, ctx.params, pending
                     ).advance_to(ctx.d)
                 except CorruptedWalkError:
-                    ctx.engine.stats.degradations += 1
+                    ctx.engine.stats.add("degradations", 1)
                     if attempt == REWALK_ATTEMPTS - 1:
                         raise
             raise AssertionError("unreachable")

@@ -75,11 +75,17 @@ class ExecutionGovernor:
     # Installation
 
     def install(self, engine, walk_cache=None) -> "ExecutionGovernor":
-        """Attach to ``engine`` and start the deadline/step baselines."""
+        """Attach to ``engine`` and start the deadline/step baselines.
+
+        The step baseline is the *calling thread's* shard of
+        ``propagation_steps``, so a per-query step budget on an engine
+        shared by concurrent service workers only meters this query's
+        own walking (`engine.governor` is likewise thread-local).
+        """
         engine.governor = self
         self._engine = engine
         self.walk_cache = walk_cache
-        self._step_base = engine.stats.propagation_steps
+        self._step_base = engine.stats.local("propagation_steps")
         if self.budget.deadline_ms is not None:
             self._deadline = self.now() + self.budget.deadline_ms / 1000.0
         return self
@@ -114,12 +120,12 @@ class ExecutionGovernor:
     # Accounting
 
     def steps_used(self) -> int:
-        """Propagation column-steps spent since installation."""
-        return self._engine.stats.propagation_steps - self._step_base
+        """Propagation column-steps this thread spent since installation."""
+        return self._engine.stats.local("propagation_steps") - self._step_base
 
     def count_budget_stop(self) -> None:
         """Record that a governed entry point stopped on exhaustion."""
-        self._engine.stats.budget_stops += 1
+        self._engine.stats.add("budget_stops", 1)
 
     # ------------------------------------------------------------------
     # The checkpoint
@@ -132,8 +138,7 @@ class ExecutionGovernor:
         allocation about to happen, checked against ``max_bytes``
         *before* the buffers are committed.
         """
-        stats = self._engine.stats
-        stats.checkpoints += 1
+        self._engine.stats.add("checkpoints", 1)
         if self.fault_injector is not None:
             self.fault_injector.fire(site, self, block=block)
         budget = self.budget

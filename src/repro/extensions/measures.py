@@ -184,8 +184,8 @@ class TruncatedPPR:
         for i in range(1, steps + 1):
             back = transition.dot(back)
             scores += factor * self.damping ** i * back
-        engine.stats.propagation_steps += steps
-        engine.stats.sparse_products += steps
+        engine.stats.add("propagation_steps", steps)
+        engine.stats.add("sparse_products", steps)
         return scores
 
     def backward_scores_block(
@@ -305,7 +305,7 @@ class SeriesYBound:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self._d = d
-        engine.stats.bound_builds += 1
+        engine.stats.add("bound_builds", 1)
         reach = engine.reach_mass_series(sources, d)  # (d, n)
         capped = np.minimum(reach, 1.0)
         weights = np.array(

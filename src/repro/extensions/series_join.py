@@ -328,8 +328,8 @@ class SeriesIDJ(SeriesBackwardJoin):
                     if len(group) == 1:
                         raise
                     half = max(1, len(group) // 2)
-                    engine.stats.alloc_retries += 1
-                    engine.stats.degradations += 1
+                    engine.stats.add("alloc_retries", 1)
+                    engine.stats.add("degradations", 1)
                     if max_cols is None or half < max_cols:
                         max_cols = half
                     continue
@@ -641,9 +641,12 @@ def series_multi_way_join(
     engine: Optional[WalkEngine] = None,
     algorithm: str = "ap",
     m: int = 50,
+    walk_cache: Optional[WalkCache] = None,
     share_walks: bool = True,
+    bound_cache: Optional[BoundPlanCache] = None,
     share_bounds: bool = True,
     max_block_bytes: Optional[int] = None,
+    walk_cache_bytes: Optional[int] = None,
     plan: object = "fixed",
 ) -> List[CandidateAnswer]:
     """Top-``k`` n-way join under an arbitrary series measure.
@@ -654,9 +657,12 @@ def series_multi_way_join(
     incremental F-structure refinement is a DHT-specific optimisation
     with no measure-generic counterpart yet.  All edges share one walk
     cache and one bound cache (disable with ``share_walks`` /
-    ``share_bounds``), both keyed by the measure.  ``max_block_bytes``
-    caps each edge's resumable walk block (bounded-memory rounds with
-    walk-cache spill), forwarded uniformly through the spec.  ``plan``
+    ``share_bounds``), both keyed by the measure; pass explicit
+    ``walk_cache`` / ``bound_cache`` instances to share them *across*
+    calls too (the service tier does).  ``max_block_bytes`` caps each
+    edge's resumable walk block (bounded-memory rounds with walk-cache
+    spill), forwarded uniformly through the spec; ``walk_cache_bytes``
+    byte-budgets an automatically created shared walk cache.  ``plan``
     (``"fixed"``/``"auto"``/an ``ExplainedPlan``) hands edge order and
     per-edge operator choice to the cost-based planner.
     """
@@ -668,9 +674,12 @@ def series_multi_way_join(
         aggregate=aggregate,
         engine=engine,
         measure=measure,
+        walk_cache=walk_cache,
         share_walks=share_walks,
+        bound_cache=bound_cache,
         share_bounds=share_bounds,
         max_block_bytes=max_block_bytes,
+        walk_cache_bytes=walk_cache_bytes,
         plan=plan,
     )
     name = algorithm.lower()

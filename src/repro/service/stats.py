@@ -1,0 +1,99 @@
+"""Service-level observability: one consistent snapshot per call.
+
+:class:`ServiceStats` is a frozen value object produced by
+:meth:`repro.service.QueryService.stats`; the service's internal
+accumulator tracks counts and completed-request latencies under a lock
+and folds in the shared cache tiers' hit counters at snapshot time, so
+one call answers the operational questions: how fast (QPS, p50/p99),
+how warm (cross-query cache-hit rates), and how often degraded
+(rejected / partial / error counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rank = max(0, min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time service health snapshot.
+
+    ``qps`` is completed requests over the submit-to-now wall window
+    (0 before the first completion).  ``walk_cache_hit_rate`` is
+    hits / (hits + misses) summed over every shared cache tier — the
+    cross-query sharing signal: a request mix replayed against a warm
+    service must show a strictly higher rate than the same mix on a
+    cold one (the bench's ``service`` section asserts exactly that).
+    ``partial`` counts completed-but-flagged results (budget stops,
+    including deadline expiry while still queued); ``rejected`` counts
+    clean admission refusals; neither is ever silent.
+    """
+
+    submitted: int
+    completed: int
+    exact: int
+    partial: int
+    rejected: int
+    errors: int
+    in_flight: int
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    walk_cache_hits: int
+    walk_cache_misses: int
+    walk_cache_hit_rate: float
+    bound_cache_hits: int
+    plan_cache_hits: int
+    budget_stops: int
+
+
+class StatsAccumulator:
+    """Mutable counters behind :class:`ServiceStats` (lock owned by caller).
+
+    The service records each response exactly once; latencies are kept
+    for completed (``status == "ok"``) requests only, so percentiles
+    measure served answers, not rejections.
+    """
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.exact = 0
+        self.partial = 0
+        self.rejected = 0
+        self.errors = 0
+        self.latencies_ms: List[float] = []
+        self.first_submit: float = 0.0
+        self.last_complete: float = 0.0
+
+    def record_submit(self, now: float) -> None:
+        if self.submitted == 0:
+            self.first_submit = now
+        self.submitted += 1
+
+    def record_response(self, response, now: float) -> None:
+        if response.status == "rejected":
+            self.rejected += 1
+            return
+        if response.status == "error":
+            self.errors += 1
+            return
+        self.completed += 1
+        self.last_complete = now
+        self.latencies_ms.append(response.latency_ms)
+        result = response.result
+        if getattr(result, "exact", True):
+            self.exact += 1
+        else:
+            self.partial += 1

@@ -41,6 +41,7 @@ one of each and pass both to every query-edge context.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
@@ -109,6 +110,17 @@ class WalkCache:
         ``current_bytes <= max_bytes`` always holds, which makes the
         bounded joins' spill policy and the governor's byte ceiling
         end-to-end true.
+
+    The cache is safe to share across concurrent queries (the
+    :class:`repro.service.QueryService` tier): every public method runs
+    under one re-entrant lock, so LRU order, byte accounting, in-place
+    :class:`~repro.walks.state.WalkState` extension, and the cache's own
+    hit/miss stats never tear.  Re-entrant because a governed walk under
+    :meth:`scores` may fire an ``"evict"`` fault that calls
+    :meth:`clear` on this same cache from the same thread.  A cold miss
+    walks while holding the lock — correctness over cold-path
+    parallelism; warm traffic (the service's steady state) only pays a
+    copy under the lock.
     """
 
     def __init__(
@@ -133,6 +145,7 @@ class WalkCache:
         self._entries: "OrderedDict[int, _TargetEntry]" = OrderedDict()
         self._entry_bytes: Dict[int, int] = {}
         self._total_bytes = 0
+        self._lock = threading.RLock()
         self.stats = WalkCacheStats()
 
     @property
@@ -158,19 +171,23 @@ class WalkCache:
     @property
     def current_bytes(self) -> int:
         """Bytes currently retained (vectors + resumable buffers)."""
-        return self._total_bytes
+        with self._lock:
+            return self._total_bytes
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, target: int) -> bool:
-        return target in self._entries
+        with self._lock:
+            return target in self._entries
 
     def clear(self) -> None:
         """Drop every cached walk (stats are kept)."""
-        self._entries.clear()
-        self._entry_bytes.clear()
-        self._total_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._entry_bytes.clear()
+            self._total_bytes = 0
 
     # ------------------------------------------------------------------
     # Lookup / compute
@@ -182,15 +199,16 @@ class WalkCache:
         A hit refreshes the target's LRU position and returns a fresh
         copy (cached vectors are never handed out aliased).
         """
-        entry = self._entries.get(target)
-        if entry is not None:
-            vector = entry.scores.get(level)
-            if vector is not None:
-                self._entries.move_to_end(target)
-                self.stats.hits += 1
-                return vector.copy()
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(target)
+            if entry is not None:
+                vector = entry.scores.get(level)
+                if vector is not None:
+                    self._entries.move_to_end(target)
+                    self.stats.hits += 1
+                    return vector.copy()
+            self.stats.misses += 1
+            return None
 
     def resumable_level(self, target: int) -> int:
         """Level of the retained resumable state for ``target`` (0 if none).
@@ -201,10 +219,11 @@ class WalkCache:
         (``0 < resumable_level(q) <= level``) or should be re-walked in
         a fresh batched chunk.
         """
-        entry = self._entries.get(target)
-        if entry is None or entry.state is None:
-            return 0
-        return entry.state.level
+        with self._lock:
+            entry = self._entries.get(target)
+            if entry is None or entry.state is None:
+                return 0
+            return entry.state.level
 
     def scores(
         self, target: int, level: int, count_stats: bool = True
@@ -218,50 +237,51 @@ class WalkCache:
         already recorded this lookup via :meth:`peek`, so one logical
         request is not double-counted.
         """
-        if count_stats:
-            vector = self.peek(target, level)
-            if vector is not None:
-                return vector
-        else:
-            entry = self._entries.get(target)
-            vector = entry.scores.get(level) if entry is not None else None
-            if vector is not None:
-                self._entries.move_to_end(target)
-                return vector.copy()
-        entry = self._ensure_entry(target)
-        state = entry.state
-        resumed_from = 0
-        if state is not None and state.level <= level:
-            resumed_from = state.level
-        else:
-            state = WalkState(self._engine, self._params, [target])
-        try:
-            state.advance_to(level)
-        except CorruptedWalkError:
-            # Poisoned buffers cannot be trusted at *any* level: drop the
-            # retained state and re-walk from scratch (a counted
-            # degradation).  A second corruption propagates to the
-            # rounds-layer retry.
-            self._engine.stats.degradations += 1
-            entry.state = None
-            self._account(target)
+        with self._lock:
+            if count_stats:
+                vector = self.peek(target, level)
+                if vector is not None:
+                    return vector
+            else:
+                entry = self._entries.get(target)
+                vector = entry.scores.get(level) if entry is not None else None
+                if vector is not None:
+                    self._entries.move_to_end(target)
+                    return vector.copy()
+            entry = self._ensure_entry(target)
+            state = entry.state
             resumed_from = 0
-            state = WalkState(self._engine, self._params, [target])
-            state.advance_to(level)
-        if resumed_from > 0:
-            self.stats.extensions += 1
-            self.stats.steps_saved += resumed_from
-            # Mirror the resume into the engine currency so spill
-            # resumes are visible next to propagation_steps.
-            self._engine.stats.extensions += 1
-            self._engine.stats.steps_saved += resumed_from
-        if entry.state is None or state.level >= entry.state.level:
-            entry.state = state
-        vector = state.score_column(0)
-        entry.scores[level] = vector
-        self._account(target)
-        self._evict()
-        return vector.copy()
+            if state is not None and state.level <= level:
+                resumed_from = state.level
+            else:
+                state = WalkState(self._engine, self._params, [target])
+            try:
+                state.advance_to(level)
+            except CorruptedWalkError:
+                # Poisoned buffers cannot be trusted at *any* level: drop
+                # the retained state and re-walk from scratch (a counted
+                # degradation).  A second corruption propagates to the
+                # rounds-layer retry.
+                self._engine.stats.add("degradations", 1)
+                entry.state = None
+                self._account(target)
+                resumed_from = 0
+                state = WalkState(self._engine, self._params, [target])
+                state.advance_to(level)
+            if resumed_from > 0:
+                self.stats.extensions += 1
+                self.stats.steps_saved += resumed_from
+                # Mirror the resume into the engine currency so spill
+                # resumes are visible next to propagation_steps.
+                self._engine.stats.add("extensions", 1)
+                self._engine.stats.add("steps_saved", resumed_from)
+            if entry.state is None or state.level >= entry.state.level:
+                entry.state = state
+            vector = state.score_column(0)
+            entry.scores[level] = vector
+            self._account(target)
+            self._evict()
+            return vector.copy()
 
     # ------------------------------------------------------------------
     # Donation (batched algorithms feed their walks back)
@@ -274,10 +294,11 @@ class WalkCache:
         :class:`WalkState` column) so cached and freshly walked scores
         stay bit-identical.  A private copy is stored.
         """
-        entry = self._ensure_entry(target)
-        entry.scores[level] = np.array(scores, dtype=np.float64, copy=True)
-        self._account(target)
-        self._evict()
+        with self._lock:
+            entry = self._ensure_entry(target)
+            entry.scores[level] = np.array(scores, dtype=np.float64, copy=True)
+            self._account(target)
+            self._evict()
 
     def adopt(self, state: WalkState) -> None:
         """Adopt a single-column resumable state (deepest wins).
@@ -312,11 +333,12 @@ class WalkCache:
                 "than this cache"
             )
         target = int(state.targets[0])
-        entry = self._ensure_entry(target)
-        if entry.state is None or state.level > entry.state.level:
-            entry.state = state
-        self._account(target)
-        self._evict()
+        with self._lock:
+            entry = self._ensure_entry(target)
+            if entry.state is None or state.level > entry.state.level:
+                entry.state = state
+            self._account(target)
+            self._evict()
 
     # ------------------------------------------------------------------
     # Internals

@@ -41,16 +41,37 @@ the whole walk-and-bound stack — ``BENCH_walks.json`` is built from it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+import threading
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError
 
+#: Additive counter fields of :class:`WalkEngineStats` (reads sum the
+#: per-thread shards).
+STAT_COUNTERS = (
+    "propagation_steps",
+    "sparse_products",
+    "bound_builds",
+    "bound_cache_hits",
+    "plan_builds",
+    "plan_cache_hits",
+    "extensions",
+    "steps_saved",
+    "checkpoints",
+    "budget_stops",
+    "degradations",
+    "alloc_retries",
+)
 
-@dataclass
+#: High-water-mark fields (reads take the max over the per-thread shards).
+STAT_PEAKS = ("peak_block_bytes",)
+
+_STAT_FIELDS = STAT_COUNTERS + STAT_PEAKS
+
+
 class WalkEngineStats:
     """Propagation-work counters, cumulative since the last reset.
 
@@ -92,42 +113,100 @@ class WalkEngineStats:
     fallback (window backoffs, corrupted-block re-walks), and
     ``alloc_retries`` counts the subset of degradations that were
     allocation-failure retries of the adaptive window backoff.
+
+    The counters are safe to increment from concurrent worker threads
+    sharing one engine (the :class:`repro.service.QueryService` setup):
+    each thread writes to a private shard via :meth:`add` /
+    :meth:`record_block_bytes`, and attribute reads merge the shards
+    (sum for counters, max for ``peak_block_bytes``) — so no increment
+    is ever lost to a torn read-modify-write, and the merged totals
+    equal what a serial run would have counted.  :meth:`local` reads one
+    thread's own shard, which is how a per-query
+    :class:`~repro.exec.governor.ExecutionGovernor` meters its step
+    budget without being charged for other queries' walks.
     """
 
-    propagation_steps: int = 0
-    sparse_products: int = 0
-    bound_builds: int = 0
-    bound_cache_hits: int = 0
-    plan_builds: int = 0
-    plan_cache_hits: int = 0
-    peak_block_bytes: int = 0
-    extensions: int = 0
-    steps_saved: int = 0
-    checkpoints: int = 0
-    budget_stops: int = 0
-    degradations: int = 0
-    alloc_retries: int = 0
+    __slots__ = ("_lock", "_local", "_shards")
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_lock", threading.Lock())
+        object.__setattr__(self, "_local", threading.local())
+        object.__setattr__(self, "_shards", [])
+
+    def _shard(self) -> Dict[str, int]:
+        """This thread's private shard (created and registered lazily)."""
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = {name: 0 for name in _STAT_FIELDS}
+            with self._lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+        return shard
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (lock-free: thread shard)."""
+        self._shard()[name] += amount
+
+    def local(self, name: str) -> int:
+        """This thread's own contribution to field ``name``."""
+        shard = getattr(self._local, "shard", None)
+        return 0 if shard is None else shard[name]
+
+    def __getattr__(self, name: str) -> int:
+        if name in STAT_COUNTERS:
+            with self._lock:
+                return sum(shard[name] for shard in self._shards)
+        if name in STAT_PEAKS:
+            with self._lock:
+                return max(
+                    (shard[name] for shard in self._shards), default=0
+                )
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        # Direct assignment keeps its single-threaded meaning (the
+        # merged value becomes exactly ``value``): zero the field in
+        # every shard, then store the value in this thread's shard.
+        if name in _STAT_FIELDS:
+            shard = self._shard()
+            with self._lock:
+                for other in self._shards:
+                    other[name] = 0
+                shard[name] = int(value)
+            return
+        object.__setattr__(self, name, value)
 
     def record_block_bytes(self, nbytes: int) -> None:
         """Raise the resumable-block high-water mark to ``nbytes``."""
-        if nbytes > self.peak_block_bytes:
-            self.peak_block_bytes = nbytes
+        shard = self._shard()
+        if nbytes > shard["peak_block_bytes"]:
+            shard["peak_block_bytes"] = nbytes
+
+    def snapshot(self) -> Dict[str, int]:
+        """All merged counters as a plain dict (one consistent pass)."""
+        with self._lock:
+            merged = {
+                name: sum(shard[name] for shard in self._shards)
+                for name in STAT_COUNTERS
+            }
+            for name in STAT_PEAKS:
+                merged[name] = max(
+                    (shard[name] for shard in self._shards), default=0
+                )
+        return merged
 
     def reset(self) -> None:
-        """Zero all counters."""
-        self.propagation_steps = 0
-        self.sparse_products = 0
-        self.bound_builds = 0
-        self.bound_cache_hits = 0
-        self.plan_builds = 0
-        self.plan_cache_hits = 0
-        self.peak_block_bytes = 0
-        self.extensions = 0
-        self.steps_saved = 0
-        self.checkpoints = 0
-        self.budget_stops = 0
-        self.degradations = 0
-        self.alloc_retries = 0
+        """Zero all counters (every thread's shard)."""
+        with self._lock:
+            for shard in self._shards:
+                for name in _STAT_FIELDS:
+                    shard[name] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"WalkEngineStats({fields})"
 
 
 class WalkEngine:
@@ -144,10 +223,23 @@ class WalkEngine:
         self._n = graph.num_nodes
         self._transition_csc = None
         self._in_degrees = None
+        self._derived_lock = threading.Lock()
         self.stats = WalkEngineStats()
-        # Installed by repro.exec.ExecutionGovernor for governed queries;
-        # None means every checkpoint() call is a no-op.
-        self.governor = None
+        # Governor slot, installed by repro.exec.ExecutionGovernor for
+        # governed queries; None means every checkpoint() is a no-op.
+        # Thread-local, so concurrent queries on one shared engine each
+        # see only their own governor (service workers install one per
+        # request without clobbering each other's budgets).
+        self._governor_local = threading.local()
+
+    @property
+    def governor(self):
+        """This thread's installed governor, or ``None``."""
+        return getattr(self._governor_local, "governor", None)
+
+    @governor.setter
+    def governor(self, value) -> None:
+        self._governor_local.governor = value
 
     @property
     def graph(self) -> Graph:
@@ -212,8 +304,8 @@ class WalkEngine:
                 back_prob[target] = 0.0
             back_prob = self._transition.dot(back_prob)
             series[i] = back_prob
-        self.stats.propagation_steps += steps
-        self.stats.sparse_products += steps
+        self.stats.add("propagation_steps", steps)
+        self.stats.add("sparse_products", steps)
         return series
 
     def backward_first_hit_block(
@@ -258,8 +350,8 @@ class WalkEngine:
         targets = self._check_target_block(targets)
         self.checkpoint("block")
         mass = self._gather_columns(self.transition_columns(), targets)
-        self.stats.propagation_steps += targets.shape[0]
-        self.stats.sparse_products += 1
+        self.stats.add("propagation_steps", int(targets.shape[0]))
+        self.stats.add("sparse_products", 1)
         return mass
 
     def backward_block_step(
@@ -280,8 +372,8 @@ class WalkEngine:
         if not first:
             mass[targets, np.arange(width)] = 0.0
         out = self._transition.dot(mass)
-        self.stats.propagation_steps += width
-        self.stats.sparse_products += 1
+        self.stats.add("propagation_steps", int(width))
+        self.stats.add("sparse_products", 1)
         return out
 
     # ------------------------------------------------------------------
@@ -317,8 +409,8 @@ class WalkEngine:
             mass[target] = 0.0
             mass = self._transition_t.dot(mass)
             hits[i] = mass[target]
-        self.stats.propagation_steps += steps
-        self.stats.sparse_products += steps
+        self.stats.add("propagation_steps", steps)
+        self.stats.add("sparse_products", steps)
         return hits
 
     # ------------------------------------------------------------------
@@ -350,8 +442,8 @@ class WalkEngine:
             self.checkpoint("step")
             mass = self._transition_t.dot(mass)
             series[i] = mass
-        self.stats.propagation_steps += steps
-        self.stats.sparse_products += steps
+        self.stats.add("propagation_steps", steps)
+        self.stats.add("sparse_products", steps)
         return series
 
     # ------------------------------------------------------------------
@@ -371,11 +463,13 @@ class WalkEngine:
         if self._transition_csc is None:
             from scipy.sparse import csc_matrix
 
-            transpose = self._transition_t
-            self._transition_csc = csc_matrix(
-                (transpose.data, transpose.indices, transpose.indptr),
-                shape=self._transition.shape,
-            )
+            with self._derived_lock:
+                if self._transition_csc is None:
+                    transpose = self._transition_t
+                    self._transition_csc = csc_matrix(
+                        (transpose.data, transpose.indices, transpose.indptr),
+                        shape=self._transition.shape,
+                    )
         return self._transition_csc
 
     def in_degree_array(self) -> np.ndarray:
@@ -387,7 +481,10 @@ class WalkEngine:
         the sparse-phase gate computes this in O(n) per step.
         """
         if self._in_degrees is None:
-            self._in_degrees = np.diff(self.transition_columns().indptr)
+            columns = self.transition_columns()
+            with self._derived_lock:
+                if self._in_degrees is None:
+                    self._in_degrees = np.diff(columns.indptr)
         return self._in_degrees
 
     @staticmethod

@@ -289,8 +289,8 @@ class DeepeningRounds:
     def _note_backoff(self, new_cols: int) -> None:
         """Record one allocation-backoff retry and narrow the window."""
         stats = self._engine.stats
-        stats.alloc_retries += 1
-        stats.degradations += 1
+        stats.add("alloc_retries", 1)
+        stats.add("degradations", 1)
         new_cols = max(1, new_cols)
         if self._max_cols is None or new_cols < self._max_cols:
             self._max_cols = new_cols
@@ -299,7 +299,7 @@ class DeepeningRounds:
         """Replace a corrupted block with a fresh walk (bounded retries)."""
         targets = [int(t) for t in state.targets]
         for _ in range(REWALK_ATTEMPTS):
-            self._engine.stats.degradations += 1
+            self._engine.stats.add("degradations", 1)
             try:
                 return WalkState(self._engine, self._params, targets).advance_to(
                     level

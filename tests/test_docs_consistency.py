@@ -69,7 +69,9 @@ def test_readme_cli_commands_exist():
     text = README.read_text(encoding="utf-8")
     documented = set(re.findall(r"python -m repro (\S+)", text))
     assert documented, "README must document CLI usage"
-    assert documented <= {"two-way", "multi-way", "stats"}
+    assert documented <= {
+        "two-way", "multi-way", "stats", "serve", "bench-service"
+    }
 
 
 def test_cli_quickstart_flow(tmp_path, capsys):
@@ -122,6 +124,7 @@ def test_bench_report_not_stale():
         "schema 5 reports carry budget-quality rows"
     )
     assert payload.get("planner"), "schema 6 reports carry planner rows"
+    assert payload.get("service"), "schema 7 reports carry service rows"
 
 
 def test_bench_report_claims_hold():
@@ -172,6 +175,14 @@ def test_bench_report_claims_hold():
             assert row["step_reduction_vs_worst"] >= 1.2
             assert row["auto_order"] != row["fixed_order"]
     assert {"skewed-star", "chain"} <= planner_scenarios
+    service_clients = set()
+    for row in payload["service"]:
+        service_clients.add(row["clients"])
+        assert row["answers_match"]
+        assert row["rejected"] == 0 and row["errors"] == 0
+        assert row["warm_walk_hit_rate"] > row["cold_walk_hit_rate"]
+        assert row["warm_p99_ms"] >= row["warm_p50_ms"] >= 0.0
+    assert {1, 4, 8} <= service_clients
 
 
 @pytest.mark.parametrize(
