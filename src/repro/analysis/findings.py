@@ -1,0 +1,32 @@
+"""Finding: one linter hit, with a stable identity for baselining.
+
+A finding's :attr:`Finding.key` deliberately excludes the line number —
+baselines keyed on ``RULE:path:scope:symbol`` survive unrelated edits
+above the finding, so the committed baseline file does not churn every
+time a docstring grows.  The line number is still carried for display.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one site."""
+
+    path: str  # repo-relative, forward slashes
+    line: int
+    rule: str  # "RL001".."RL005"
+    scope: str  # "Class.method", "function", or "<module>"
+    symbol: str  # the attribute / primitive / class the rule anchors on
+    message: str = field(compare=False)
+
+    @property
+    def key(self):
+        """Stable identity used by baselines (no line number)."""
+        return f"{self.rule}:{self.path}:{self.scope}:{self.symbol}"
+
+    def render(self):
+        return (
+            f"{self.path}:{self.line}: {self.rule} [{self.scope}] "
+            f"{self.message}"
+        )

@@ -1,0 +1,193 @@
+"""The invariant linter CLI: ``python -m repro.analysis.lint src tests``.
+
+Discovery walks the given paths for ``*.py`` files, skipping
+``__pycache__``, ``.git``, and ``lint_fixtures`` directories — the
+fixture corpus under ``tests/lint_fixtures/`` exists to *violate* the
+rules, so directory scans never see it, while explicitly passed file
+paths are always linted (that is how ``tests/test_analysis_lint.py``
+drives the fixtures).
+
+Suppression is two-level:
+
+* inline — ``# repro-lint: disable=RL002`` (comma-separate for several
+  rules) on the flagged line silences that line;
+* baseline — entries in ``.repro-lint-baseline`` (see
+  :mod:`repro.analysis.baseline`) silence a finding repo-wide, with a
+  mandatory one-line justification.
+
+Exit codes: 0 clean, 1 findings, 2 usage/baseline error.  ``--strict``
+is the CI mode: it additionally fails on *stale* baseline entries, so
+the exception list can only shrink by being edited consciously.
+"""
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    BASELINE_NAME, BaselineError, load_baseline,
+)
+from repro.analysis.rules import RULES, ModuleInfo, check_module
+
+_SKIP_DIRS = {"__pycache__", ".git", "lint_fixtures", ".pytest_cache"}
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Z0-9, ]+)"
+)
+
+
+def discover(paths):
+    """Yield Path objects for every lintable ``*.py`` under ``paths``."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_file():
+            yield entry  # explicit files are always linted
+        elif entry.is_dir():
+            for path in sorted(entry.rglob("*.py")):
+                if _SKIP_DIRS.intersection(path.parts):
+                    continue
+                yield path
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+
+
+def _parse_suppressions(source):
+    """Return (line_no -> rule set, file-wide rule set)."""
+    per_line, file_wide = {}, set()
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(line)
+        if not match:
+            continue
+        rules = {
+            token.strip() for token in match.group(2).split(",")
+            if token.strip()
+        }
+        if match.group(1) == "disable-file":
+            file_wide |= rules
+        else:
+            per_line.setdefault(number, set()).update(rules)
+    return per_line, file_wide
+
+
+class LintRunner:
+    """Programmatic entry point; the CLI and tests both go through it."""
+
+    def __init__(self, root=None, baseline_path=None):
+        self.root = Path(root) if root else Path.cwd()
+        if baseline_path is None:
+            baseline_path = self.root / BASELINE_NAME
+        self.baseline = load_baseline(baseline_path)
+        self.seen_keys = set()
+
+    def _relpath(self, path):
+        path = Path(path).resolve()
+        try:
+            return path.relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def lint_file(self, path):
+        """All non-suppressed, non-baselined findings for one file."""
+        source = Path(path).read_text(encoding="utf-8")
+        relpath = self._relpath(path)
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            raise SystemExit(f"{relpath}: cannot parse: {exc}") from exc
+        per_line, file_wide = _parse_suppressions(source)
+        findings = []
+        for finding in check_module(ModuleInfo(relpath, tree)):
+            if finding.rule in file_wide:
+                continue
+            if finding.rule in per_line.get(finding.line, ()):
+                continue
+            self.seen_keys.add(finding.key)
+            if finding.key in self.baseline:
+                continue
+            findings.append(finding)
+        return findings
+
+    def lint(self, paths):
+        findings = []
+        for path in discover(paths):
+            findings.extend(self.lint_file(path))
+        return sorted(findings)
+
+    def stale_baseline_keys(self):
+        """Baseline entries that matched nothing in the linted tree."""
+        return sorted(set(self.baseline) - self.seen_keys)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST invariant linter for the repro concurrency and "
+                    "cache-identity contracts (rules RL001-RL005; see "
+                    "docs/INVARIANTS.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="CI mode: also fail on stale baseline entries",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: ./{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline (show every finding)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id}  {rule.name}: {rule.summary}")
+        return 0
+
+    try:
+        runner = LintRunner(
+            baseline_path=(False if args.no_baseline else args.baseline)
+            or None,
+        )
+        if args.no_baseline:
+            runner.baseline = {}
+        findings = runner.lint(args.paths)
+    except BaselineError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    status = 0
+    if findings:
+        print(
+            f"repro-lint: {len(findings)} finding(s) "
+            f"(fix, `# repro-lint: disable=RULE`, or baseline with a "
+            f"justification in {BASELINE_NAME})",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.strict:
+        stale = runner.stale_baseline_keys()
+        if stale:
+            for key in stale:
+                print(f"repro-lint: stale baseline entry: {key}",
+                      file=sys.stderr)
+            status = status or 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

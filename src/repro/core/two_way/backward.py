@@ -377,6 +377,7 @@ class BackwardBasicJoin:
             pending.clear()
 
         for q in ctx.right:  # validated node sets carry no duplicates
+            ctx.engine.checkpoint("cache")
             cached = cache.peek(q, ctx.d)
             if cached is not None:
                 pairs.extend(ctx.pairs_for_target(cached, q))

@@ -20,6 +20,12 @@ query.  The engine (and the join loops above it) call
 ``"edge"``
     Entry of :meth:`~repro.core.nway.spec.NWayJoinSpec.edge_context` —
     the funnel every n-way strategy passes through per query edge.
+``"cache"``
+    Each :meth:`~repro.walks.cache.WalkCache.scores` call and each
+    iteration of a cache-triage loop (``peek`` probes), so a query whose
+    targets are all warm in the cache still honours deadlines and fault
+    schedules — the linter's RL002 *ungoverned-loop* rule
+    (``docs/INVARIANTS.md``) mechanically enforces this one.
 
 Each checkpoint increments ``stats.checkpoints``, gives the optional
 :class:`~repro.exec.faults.FaultInjector` a chance to fire, and checks

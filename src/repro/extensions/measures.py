@@ -182,6 +182,9 @@ class TruncatedPPR:
         scores[target] = 1.0 - self.damping  # i = 0 term
         factor = 1.0 - self.damping
         for i in range(1, steps + 1):
+            # Same governor visibility as the DHT oracle, whose steps
+            # run through engine.backward_first_hit_series.
+            engine.checkpoint("step")
             back = transition.dot(back)
             scores += factor * self.damping ** i * back
         engine.stats.add("propagation_steps", steps)

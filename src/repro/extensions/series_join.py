@@ -214,6 +214,7 @@ class SeriesBackwardJoin:
             pending.clear()
 
         for q in ctx.right:
+            ctx.engine.checkpoint("cache")
             if cache is not None:
                 cached = cache.peek(q, measure.d)
                 if cached is not None:
@@ -308,6 +309,7 @@ class SeriesIDJ(SeriesBackwardJoin):
                 return
             pending: List[int] = []
             for q in active:
+                engine.checkpoint("cache")
                 if cache is not None:
                     cached = cache.peek(q, level)
                     if cached is not None:

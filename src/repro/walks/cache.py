@@ -236,7 +236,12 @@ class WalkCache:
         for future hits.  Pass ``count_stats=False`` when the caller
         already recorded this lookup via :meth:`peek`, so one logical
         request is not double-counted.
+
+        Always visits the governor (site ``"cache"``), even on a pure
+        hit — deadlines and fault injection must reach loops that the
+        warm cache would otherwise serve without a single walk step.
         """
+        self._engine.checkpoint("cache")
         with self._lock:
             if count_stats:
                 vector = self.peek(target, level)

@@ -460,17 +460,16 @@ class WalkEngine:
         Column ``t`` is the step-1 backward mass for target ``t``; the
         sparse warm-up phases slice it directly.
         """
-        if self._transition_csc is None:
-            from scipy.sparse import csc_matrix
+        with self._derived_lock:
+            if self._transition_csc is None:
+                from scipy.sparse import csc_matrix
 
-            with self._derived_lock:
-                if self._transition_csc is None:
-                    transpose = self._transition_t
-                    self._transition_csc = csc_matrix(
-                        (transpose.data, transpose.indices, transpose.indptr),
-                        shape=self._transition.shape,
-                    )
-        return self._transition_csc
+                transpose = self._transition_t
+                self._transition_csc = csc_matrix(
+                    (transpose.data, transpose.indices, transpose.indptr),
+                    shape=self._transition.shape,
+                )
+            return self._transition_csc
 
     def in_degree_array(self) -> np.ndarray:
         """Per-node in-degree (nnz of each ``T`` column), cached.
@@ -480,12 +479,13 @@ class WalkEngine:
         ``sum_v counts[v] * in_degree[v]`` bounds the next block's nnz —
         the sparse-phase gate computes this in O(n) per step.
         """
-        if self._in_degrees is None:
-            columns = self.transition_columns()
-            with self._derived_lock:
-                if self._in_degrees is None:
-                    self._in_degrees = np.diff(columns.indptr)
-        return self._in_degrees
+        # Resolved before taking the lock: _derived_lock is not
+        # re-entrant and transition_columns() acquires it too.
+        columns = self.transition_columns()
+        with self._derived_lock:
+            if self._in_degrees is None:
+                self._in_degrees = np.diff(columns.indptr)
+            return self._in_degrees
 
     @staticmethod
     def _gather_columns(csc, targets: np.ndarray) -> np.ndarray:

@@ -170,6 +170,9 @@ class DeepeningRounds:
         resume: List[int] = []
         pending: List[int] = []
         for q in active:
+            # Site "cache": even a fully cache-served triage pass must
+            # stay interruptible by deadlines and fault injection.
+            self._engine.checkpoint("cache")
             if cache is not None:
                 cached = cache.peek(q, level)
                 if cached is not None:

@@ -61,3 +61,17 @@ def random_digraph():
 def rng():
     """Deterministic random generator for tests."""
     return np.random.default_rng(123)
+
+
+@pytest.fixture
+def lock_sanitizer():
+    """A fresh lock-order sanitizer (see repro.analysis.lockorder).
+
+    Instrument the objects under test (``instrument``,
+    ``instrument_engine``, ``instrument_service``) and finish with
+    ``assert_clean()``; the concurrency battery wires it across the
+    whole 8-worker service.
+    """
+    from repro.analysis.lockorder import LockOrderSanitizer
+
+    return LockOrderSanitizer()

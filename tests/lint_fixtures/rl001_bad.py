@@ -1,0 +1,19 @@
+"""RL001 bad: a lock-bearing class whose public method touches the
+mutable map outside ``with self._lock:``."""
+
+import threading
+
+
+class BadCounterBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        self._items[key] = value
+
+    def drain(self):
+        with self._lock:
+            out = dict(self._items)
+            self._items.clear()
+        return out

@@ -1,0 +1,19 @@
+"""RL001 good: every public touch of the mutable map holds the lock."""
+
+import threading
+
+
+class GoodCounterBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def drain(self):
+        with self._lock:
+            out = dict(self._items)
+            self._items.clear()
+        return out

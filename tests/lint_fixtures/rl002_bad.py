@@ -1,0 +1,11 @@
+"""RL002 bad: a triage loop over the pure ``peek`` probe with no
+governor checkpoint reachable in its body."""
+
+
+def triage(cache, targets, level):
+    hits = []
+    for q in targets:
+        vector = cache.peek(q, level)
+        if vector is not None:
+            hits.append(vector)
+    return hits

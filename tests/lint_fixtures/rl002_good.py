@@ -1,0 +1,12 @@
+"""RL002 good: the same triage loop, made interruptible by visiting
+the governor each iteration."""
+
+
+def triage(engine, cache, targets, level):
+    hits = []
+    for q in targets:
+        engine.checkpoint("cache")
+        vector = cache.peek(q, level)
+        if vector is not None:
+            hits.append(vector)
+    return hits

@@ -1,0 +1,10 @@
+"""RL003 bad: a cache-identity dataclass that is neither frozen nor
+free of mutable fields."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WobblyBlockKernel:
+    damping: float
+    weights: list

@@ -1,0 +1,10 @@
+"""RL003 good: a frozen cache-identity dataclass with hashable fields."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SteadyBlockKernel:
+    damping: float
+    weights: Tuple[float, ...]

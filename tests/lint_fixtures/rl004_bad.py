@@ -1,0 +1,7 @@
+"""RL004 bad: raw writes to engine counters lose updates under
+threads — the shards never see them."""
+
+
+def record_step(engine):
+    engine.stats.propagation_steps += 1
+    engine.stats.sparse_products = 5

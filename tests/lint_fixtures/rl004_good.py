@@ -1,0 +1,6 @@
+"""RL004 good: engine counters go through the sharded API."""
+
+
+def record_step(engine):
+    engine.stats.add("propagation_steps", 1)
+    engine.stats.add("sparse_products", 5)

@@ -1,0 +1,11 @@
+"""RL005 bad: a budget stop caught and silently dropped — the caller
+sees an ordinary empty answer instead of a flagged partial."""
+
+from repro.exec.budget import BudgetExhaustedError
+
+
+def run_governed(step):
+    try:
+        return step()
+    except BudgetExhaustedError:
+        return []

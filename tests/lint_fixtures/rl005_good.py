@@ -1,0 +1,12 @@
+"""RL005 good: the budget stop is converted to a flagged partial."""
+
+from repro.exec.budget import BudgetExhaustedError, PartialResult
+
+
+def run_governed(step):
+    try:
+        return step()
+    except BudgetExhaustedError as exc:
+        return PartialResult(
+            results=[], bounds=[], exact=False, reason=exc.reason
+        )

@@ -385,3 +385,51 @@ class TestXBoundCaching:
             (p.left, p.right) for p in again
         ]
         assert np.allclose([p.score for p in once], [p.score for p in again])
+
+
+class TestErrorPathLockRelease:
+    """A build callback that raises inside the lookup-or-build critical
+    section must leave the lock released and the key unpoisoned."""
+
+    @staticmethod
+    def assert_lock_released(lock):
+        import threading
+
+        acquired = []
+
+        def probe():
+            got = lock.acquire(timeout=2.0)
+            acquired.append(got)
+            if got:
+                lock.release()
+
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join()
+        assert acquired == [True], "lock still held after the raise"
+
+    def test_raising_build_releases_lock_and_key_stays_buildable(
+        self, engine, params
+    ):
+        cache = BoundPlanCache(engine, params)
+
+        def bad_build():
+            raise RuntimeError("bound construction failed")
+
+        with pytest.raises(RuntimeError, match="bound construction"):
+            cache.y_bound((0, 1, 2), 4, bad_build)
+        self.assert_lock_released(cache._lock)
+        built = cache.y_bound((0, 1, 2), 4, lambda: "artifact")
+        assert built == "artifact"
+        assert cache.stats.y_builds == 1  # the failed attempt cached nothing
+
+    def test_raising_tail_plan_build_releases_lock(self, engine, params):
+        cache = BoundPlanCache(engine, params)
+
+        def bad_build():
+            raise RuntimeError("plan construction failed")
+
+        with pytest.raises(RuntimeError, match="plan construction"):
+            cache.tail_plan((3, 4), 5, bad_build)
+        self.assert_lock_released(cache._lock)
+        assert cache.tail_plan((3, 4), 5, lambda: ("plan",)) == ("plan",)

@@ -187,7 +187,38 @@ def test_bench_report_claims_hold():
 
 @pytest.mark.parametrize(
     "path",
-    ["README.md", "docs/BENCHMARKS.md", "docs/ALGORITHMS.md", "ROADMAP.md"],
+    ["README.md", "docs/BENCHMARKS.md", "docs/ALGORITHMS.md",
+     "docs/INVARIANTS.md", "ROADMAP.md"],
 )
 def test_doc_files_present(path):
     assert (REPO_ROOT / path).is_file(), f"{path} is part of the front door"
+
+
+INVARIANTS = REPO_ROOT / "docs" / "INVARIANTS.md"
+
+
+def test_invariants_doc_rules_match_linter_registry():
+    """The rule IDs documented in docs/INVARIANTS.md are exactly the
+    linter's registry — a rule cannot be added, renamed, or dropped
+    without its contract documentation moving in the same diff."""
+    from repro.analysis.rules import RULES
+
+    text = INVARIANTS.read_text(encoding="utf-8")
+    documented = set(re.findall(r"^## (RL\d{3}) `([a-z-]+)`", text,
+                                re.MULTILINE))
+    assert documented == {
+        (rule.rule_id, rule.name) for rule in RULES.values()
+    }, "docs/INVARIANTS.md sections must mirror repro.analysis.rules.RULES"
+
+
+def test_invariants_doc_documents_suppression_and_run_commands():
+    text = INVARIANTS.read_text(encoding="utf-8")
+    assert "repro-lint: disable=" in text
+    assert ".repro-lint-baseline" in text
+    assert "python -m repro.analysis.lint src tests --strict" in text
+
+
+def test_readme_mentions_the_linter():
+    text = README.read_text(encoding="utf-8")
+    assert "repro-lint" in text
+    assert "docs/INVARIANTS.md" in text

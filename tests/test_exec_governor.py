@@ -352,3 +352,56 @@ class TestCLIBudgetFlags:
         payload = json.loads(capsys.readouterr().out)
         assert payload["exact"] is False
         assert payload["reason"] == "deadline"
+
+
+class TestWarmCacheInterruptibility:
+    """Regression for the RL002 (*ungoverned-loop*) pass: a query served
+    entirely from the warm walk cache performs zero propagation steps,
+    so before the ``"cache"`` checkpoint site existed a deadline or
+    fault schedule could never reach it — it would run to an "exact"
+    answer on a budget that had already expired."""
+
+    def test_warm_scores_still_honours_deadline(self, random_graph):
+        from repro.core.dht import DHTParams
+        from repro.walks.cache import WalkCache
+
+        params = DHTParams.dht_lambda(0.2)
+        engine = WalkEngine(random_graph)
+        cache = WalkCache(engine, params)
+        baseline = cache.scores(3, 4)  # warm the entry, ungoverned
+        assert baseline is not None
+        governor = ExecutionGovernor(
+            QueryBudget(deadline_ms=1e-3)
+        ).install(engine)
+        try:
+            with pytest.raises(BudgetExhaustedError) as excinfo:
+                cache.scores(3, 4)
+        finally:
+            governor.uninstall()
+        assert excinfo.value.reason == "deadline"
+
+    def test_fully_cached_triage_loop_still_honours_deadline(
+        self, random_graph
+    ):
+        from repro.core.dht import DHTParams
+        from repro.core.two_way.backward import BackwardBasicJoin
+        from repro.core.two_way.base import make_context
+        from repro.walks.cache import WalkCache
+
+        params = DHTParams.dht_lambda(0.2)
+        engine = WalkEngine(random_graph)
+        cache = WalkCache(engine, params)
+        context = make_context(
+            random_graph, [0, 1, 2], [5, 6, 7], params=params, d=4,
+            engine=engine, walk_cache=cache,
+        )
+        BackwardBasicJoin(context).top_k(3)  # every right target now warm
+        assert cache.stats.misses > 0
+        governor = ExecutionGovernor(
+            QueryBudget(deadline_ms=1e-3)
+        ).install(engine)
+        try:
+            with pytest.raises(BudgetExhaustedError):
+                BackwardBasicJoin(context).top_k(3)
+        finally:
+            governor.uninstall()

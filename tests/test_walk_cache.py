@@ -260,3 +260,70 @@ class TestByteBudget:
             walk_cache_bytes=1 << 20,
         )
         assert spec.walk_cache.max_bytes == 1 << 20
+
+
+class TestErrorPathLockRelease:
+    """Satellite of the RL001 pass: a raising public method must leave
+    the cache usable — the lock released — and its message must speak
+    the caller's vocabulary (targets, kernels, widths), never leak
+    internal lock state."""
+
+    @staticmethod
+    def assert_lock_released(lock):
+        """Probe from another thread — the owning RLock thread would
+        re-enter successfully and prove nothing."""
+        import threading
+
+        acquired = []
+
+        def probe():
+            got = lock.acquire(timeout=2.0)
+            acquired.append(got)
+            if got:
+                lock.release()
+
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join()
+        assert acquired == [True], "lock still held after the raise"
+
+    def test_adopt_width_error_releases_lock(self, cache, engine, params):
+        with pytest.raises(GraphValidationError, match="width"):
+            cache.adopt(WalkState(engine, params, [1, 2]).advance_to(2))
+        self.assert_lock_released(cache._lock)
+        assert np.array_equal(cache.scores(1, 2), cache.scores(1, 2))
+
+    def test_adopt_kernel_mismatch_releases_lock(self, cache, engine):
+        other = DHTParams.dht_lambda(0.7)
+        with pytest.raises(GraphValidationError, match="kernel"):
+            cache.adopt(WalkState(engine, other, [3]).advance_to(2))
+        self.assert_lock_released(cache._lock)
+
+    def test_scores_invalid_target_releases_lock(self, cache):
+        with pytest.raises(GraphValidationError):
+            cache.scores(10_000, 3)
+        self.assert_lock_released(cache._lock)
+        assert cache.scores(0, 2) is not None
+
+    def test_error_messages_leak_no_lock_state(self, cache, engine, params):
+        raisers = [
+            lambda: cache.adopt(
+                WalkState(engine, params, [1, 2]).advance_to(2)
+            ),
+            lambda: cache.adopt(
+                WalkState(
+                    engine, DHTParams.dht_lambda(0.7), [3]
+                ).advance_to(2)
+            ),
+            lambda: cache.scores(10_000, 3),
+        ]
+        import re
+
+        for raiser in raisers:
+            with pytest.raises(GraphValidationError) as excinfo:
+                raiser()
+            message = str(excinfo.value).lower()
+            for word in ("lock", "mutex", "acquire", "held", "thread"):
+                assert not re.search(rf"\b{word}\b", message), (
+                    f"error message leaks lock state: {excinfo.value!r}"
+                )

@@ -134,3 +134,53 @@ class TestDenseReference:
     def test_exact_series_target_validation(self, path4):
         with pytest.raises(GraphValidationError):
             exact_first_hit_series(path4, 44, 3)
+
+
+class TestDerivedArtifactsUnderThreads:
+    """Regression for the RL001 (*unguarded-shared-state*) pass: the
+    lazily built CSC transition view and in-degree array are now
+    resolved entirely under the derived-artifact lock, so every thread
+    gets the same object with no torn double-checked read."""
+
+    @staticmethod
+    def _race(worker, threads=8):
+        import threading
+
+        barrier = threading.Barrier(threads)
+        results, errors = [], []
+
+        def body():
+            barrier.wait()
+            try:
+                results.append(worker())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        pool = [threading.Thread(target=body) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def test_transition_columns_is_one_object_across_threads(
+        self, random_graph
+    ):
+        engine = WalkEngine(random_graph)
+        results = self._race(engine.transition_columns)
+        assert all(result is results[0] for result in results)
+        assert results[0] is engine.transition_columns()
+
+    def test_in_degree_array_is_one_object_across_threads(
+        self, random_graph
+    ):
+        engine = WalkEngine(random_graph)
+        results = self._race(engine.in_degree_array)
+        assert all(result is results[0] for result in results)
+        # in_degree_array composes with transition_columns without
+        # deadlocking on the non-reentrant derived lock.
+        assert np.array_equal(
+            results[0], np.diff(engine.transition_columns().indptr)
+        )
