@@ -38,6 +38,13 @@ degree-aware kernel):
   the worst interleaved order — identical answers on every arm, per-arm
   propagation steps, and the auto-vs-worst step reduction (>= 1.2x on
   the skewed star);
+* observability overhead (schema 8, ``observability`` section): the
+  planner fixtures re-run tracer-off vs. tracer-on — answers must be
+  bit-identical (the trace layer observes, never interferes), and the
+  disabled-hook overhead estimate (spans + events fired, times the
+  micro-benchmarked cost of one disabled hook, over the untraced wall
+  clock) must stay under 2%; the payload also gains a top-level
+  ``elapsed_s`` map of wall-clock seconds per section;
 * the measure-generic stack (schema 3): batched vs. per-target PPR
   scoring (``Series-B-BJ`` wall clock + identical-output check),
   resumable vs. restart ``Series-IDJ`` step counts, and per-measure
@@ -681,6 +688,94 @@ def bench_planner(scenario: str) -> dict:
     }
 
 
+def _count_spans(span) -> int:
+    return 1 + sum(_count_spans(child) for child in span.children)
+
+
+def _disabled_hook_cost(engine, iterations: int = 200_000) -> float:
+    """Per-call seconds of a *disabled* trace hook (tracer uninstalled).
+
+    This is the cost every untraced query pays per hook point: one
+    thread-local read returning :data:`~repro.walks.engine.NULL_SPAN`
+    plus the no-op context-manager enter/exit.
+    """
+    assert engine.tracer is None
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with engine.trace_span("edge"):
+            pass
+    return (time.perf_counter() - start) / iterations
+
+
+def bench_observability(scenario: str = "skewed-star") -> dict:
+    """Tracer-off vs. tracer-on PJ on the walk-cache-pressured star.
+
+    Two cold runs of the same planner fixture: one untraced, one under
+    a :class:`~repro.obs.QueryTracer`.  The trace layer must be free to
+    *observe* but forbidden to *interfere*: answers are bit-identical
+    (exact node tuples, scores to the float), and the overhead the
+    hooks add to untraced queries — the cost everyone pays — is
+    estimated as (hooks fired) x (micro-benchmarked per-disabled-hook
+    seconds) / (untraced wall clock) and must stay under 2%.  Raw
+    traced-vs-untraced wall clock is recorded too but not gated: at
+    this scale it is dominated by scheduler noise, while the
+    hook-count estimate is stable.
+    """
+    from repro.obs import QueryTracer
+    from repro.planner import PlannerFixture
+
+    fixture = PlannerFixture()
+    builders = {
+        "skewed-star": fixture.skewed_star_spec,
+        "chain": fixture.chain_spec,
+    }
+    build = builders[scenario]
+
+    spec_off = build()
+    started = time.perf_counter()
+    answers_off = PartialJoin(spec_off, m=PLANNER_M, plan="fixed").run()
+    untraced_seconds = time.perf_counter() - started
+
+    spec_on = build()
+    tracer = QueryTracer()
+    spec_on.engine.tracer = tracer
+    started = time.perf_counter()
+    try:
+        with tracer.span("query", "bench-observability",
+                         stats=spec_on.engine.stats):
+            answers_on = PartialJoin(spec_on, m=PLANNER_M, plan="fixed").run()
+    finally:
+        spec_on.engine.tracer = None
+    traced_seconds = time.perf_counter() - started
+    tracer.assert_all_closed()
+
+    root = tracer.traces[-1]
+    span_count = _count_spans(root)
+    event_count = sum(root.subtree_events().values())
+    hooks = span_count + event_count
+    per_hook = _disabled_hook_cost(spec_off.engine)
+    overhead = (hooks * per_hook / untraced_seconds
+                if untraced_seconds > 0 else 0.0)
+    answers_match = (
+        [(tuple(a.nodes), a.score) for a in answers_off]
+        == [(tuple(a.nodes), a.score) for a in answers_on]
+    )
+    return {
+        "scenario": scenario,
+        "nodes": spec_off.graph.num_nodes,
+        "query_edges": spec_off.query_graph.num_edges,
+        "m": PLANNER_M,
+        "traced_spans": span_count,
+        "traced_events": event_count,
+        "hooks_fired": hooks,
+        "untraced_seconds": untraced_seconds,
+        "traced_seconds": traced_seconds,
+        "per_disabled_hook_seconds": per_hook,
+        "est_disabled_overhead_fraction": overhead,
+        "answers_match": answers_match,
+    }
+
+
 def _service_mix(num_nodes: int, rng) -> list:
     """A seeded mixed request workload with deliberately repeated sets."""
     nodes = rng.permutation(num_nodes)
@@ -808,9 +903,23 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
     measure_results = []
     bounded_series_results = []
     budget_quality_results = []
+    # Wall-clock seconds per payload section (schema 8): lets report
+    # diffs attribute total-runtime drift to the section that moved.
+    section_elapsed: dict = {}
+
+    def timed(section, fn, *fn_args, **fn_kwargs):
+        started = time.perf_counter()
+        out = fn(*fn_args, **fn_kwargs)
+        section_elapsed[section] = (
+            section_elapsed.get(section, 0.0)
+            + time.perf_counter() - started
+        )
+        return out
+
     for topology in TOPOLOGIES:
         for num_nodes in sizes:
-            row = bench_size(topology, num_nodes, repeats=repeats)
+            row = timed("workloads", bench_size, topology, num_nodes,
+                        repeats=repeats)
             results.append(row)
             print(
                 f"{row['topology']:>12} n={row['nodes']:>6}  "
@@ -822,7 +931,8 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                 f"(cached rerun {row['bidj_cached_rerun_steps']}, "
                 f"match={row['bidj_outputs_match']})"
             )
-            bc_row = bench_bound_cache(topology, num_nodes)
+            bc_row = timed("bound_cache", bench_bound_cache,
+                           topology, num_nodes)
             bound_cache_results.append(bc_row)
             print(
                 f"{bc_row['topology']:>12} n={bc_row['nodes']:>6}  "
@@ -842,7 +952,8 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                 f"{bc_row['bidj_spill_outputs_match']})"
             )
             for measure_name in _BOUNDED_SERIES_MEASURES:
-                bs_row = bench_bounded_series(topology, num_nodes, measure_name)
+                bs_row = timed("bounded_series", bench_bounded_series,
+                               topology, num_nodes, measure_name)
                 bounded_series_results.append(bs_row)
                 print(
                     f"{bs_row['topology']:>12} n={bs_row['nodes']:>6}  "
@@ -856,7 +967,8 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                     f"{bs_row['spill_steps_saved']} steps saved, "
                     f"match={bs_row['outputs_match']})"
                 )
-            bq_rows = bench_budget_quality(topology, num_nodes)
+            bq_rows = timed("budget_quality", bench_budget_quality,
+                            topology, num_nodes)
             budget_quality_results.extend(bq_rows)
             curve = ", ".join(
                 f"{row['step_budget_fraction']:.2f}:"
@@ -869,7 +981,8 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                 f"[{curve}] (*, exact; bounds sound="
                 f"{all(r['bounds_contain_reference'] for r in bq_rows)})"
             )
-            m_row = bench_measure_ppr(topology, num_nodes, repeats=repeats)
+            m_row = timed("measures", bench_measure_ppr,
+                          topology, num_nodes, repeats=repeats)
             measure_results.append(m_row)
             print(
                 f"{m_row['topology']:>12} n={m_row['nodes']:>6}  "
@@ -883,7 +996,7 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
                 f"bound={m_row['nway_bound_cache_hits']} "
                 f"(match={m_row['nway_answers_match']})"
             )
-        sr_row = bench_measure_simrank(topology)
+        sr_row = timed("measures", bench_measure_simrank, topology)
         measure_results.append(sr_row)
         print(
             f"{sr_row['topology']:>12} n={sr_row['nodes']:>6}  "
@@ -896,7 +1009,8 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
         # The client sweep runs at the smallest size: the section is
         # about contention and cache temperature, not graph scale.
         for clients in SERVICE_CLIENTS:
-            s_row = bench_service(topology, min(sizes), clients)
+            s_row = timed("service", bench_service,
+                          topology, min(sizes), clients)
             service_results.append(s_row)
             print(
                 f"{s_row['topology']:>12} n={s_row['nodes']:>6}  "
@@ -911,7 +1025,7 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
             )
     planner_results = []
     for scenario in PLANNER_SCENARIOS:
-        p_row = bench_planner(scenario)
+        p_row = timed("planner", bench_planner, scenario)
         planner_results.append(p_row)
         print(
             f"{p_row['scenario']:>12} planner PJ steps "
@@ -921,6 +1035,19 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
             f"auto order {p_row['auto_order']}, "
             f"match={p_row['answers_match_fixed']}/"
             f"{p_row['answers_match_worst']})"
+        )
+    observability_results = []
+    for scenario in PLANNER_SCENARIOS:
+        o_row = timed("observability", bench_observability, scenario)
+        observability_results.append(o_row)
+        print(
+            f"{o_row['scenario']:>12} tracer {o_row['traced_spans']} spans "
+            f"+ {o_row['traced_events']} events  "
+            f"off {o_row['untraced_seconds']:.3f}s / "
+            f"on {o_row['traced_seconds']:.3f}s  "
+            f"disabled-hook overhead "
+            f"{o_row['est_disabled_overhead_fraction']:.4%}  "
+            f"(match={o_row['answers_match']})"
         )
     payload = {
         "benchmark": "walk_engine",
@@ -932,6 +1059,11 @@ def run(sizes=SIZES, repeats: int = 5, report_path: str = REPORT_PATH) -> dict:
         "budget_quality": budget_quality_results,
         "planner": planner_results,
         "service": service_results,
+        "observability": observability_results,
+        "elapsed_s": {
+            section: round(seconds, 3)
+            for section, seconds in sorted(section_elapsed.items())
+        },
     }
     write_json_report(report_path, payload)
     print(f"wrote {report_path}")
@@ -1020,6 +1152,20 @@ def test_planner_auto_beats_worst_order():
     assert chain["answers_match_worst"], chain
     assert chain["auto_steps"] <= chain["fixed_steps"], chain
     assert chain["auto_steps"] <= chain["worst_steps"], chain
+
+
+def test_observability_tracer_transparent():
+    """CI smoke bar for the trace layer (schema 8): tracing observes
+    but never interferes — answers bit-identical with the tracer on,
+    every span closed, and the estimated disabled-hook overhead (hook
+    count x micro-benchmarked per-hook cost over the untraced wall
+    clock) under 2%."""
+    for scenario in PLANNER_SCENARIOS:
+        row = bench_observability(scenario)
+        assert row["answers_match"], row
+        assert row["est_disabled_overhead_fraction"] < 0.02, row
+        assert row["traced_spans"] > row["query_edges"], row
+        assert row["hooks_fired"] >= row["traced_spans"], row
 
 
 def test_service_warm_cache_beats_cold_with_identical_answers():

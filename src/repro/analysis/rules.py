@@ -638,6 +638,55 @@ def _check_rl005(module):
     return findings
 
 
+# --------------------------------------------------------------------------
+# RL006 untraced-hook
+# --------------------------------------------------------------------------
+
+# Join-driving primitives: each call moves real query work (a two-way
+# build, a deepening pass, or one lazy refill step).  A loop driving
+# them must be observable — either through a cooperative hook in its own
+# body or because the primitive hooks internally.
+_RL006_REQUIRING = {"top_k", "all_pairs", "next_pair", "walk_level"}
+# `top_k`, `all_pairs`, and `walk_level` open their own trace spans (and
+# checkpoint) internally; `next_pair` is the one pure lazy probe that
+# carries no internal hook, so a loop over it needs its own.
+_RL006_SATISFYING = (_RL006_REQUIRING - {"next_pair"}) | {
+    "checkpoint", "edge_context", "event", "trace_edge_span", "trace_span",
+}
+_RL006_DIRS = {"walks", "core", "extensions", "exec", "lint_fixtures"}
+
+
+def _rl006_applies(path):
+    return bool(_RL006_DIRS.intersection(path.split("/")))
+
+
+@_register(
+    "RL006",
+    "untraced-hook",
+    "loops driving join primitives must reach a governor checkpoint "
+    "or trace hook every iteration, so their work shows up in traces",
+)
+def _check_rl006(module):
+    if not _rl006_applies(module.path):
+        return []
+    findings = []
+    for scope, node in _iter_scoped(
+        module.tree, (ast.For, ast.AsyncFor, ast.While)
+    ):
+        names = _call_names(list(node.body))
+        requiring = sorted(names & _RL006_REQUIRING)
+        if not requiring or names & _RL006_SATISFYING:
+            continue
+        findings.append(Finding(
+            module.path, node.lineno, "RL006", scope, requiring[0],
+            f"loop drives {requiring} but no trace hook "
+            "(`engine.trace_span`/`spec.trace_edge_span`) or governor "
+            "checkpoint is reachable in its body — the work it does is "
+            "invisible to traces and explain-analyze",
+        ))
+    return findings
+
+
 def check_module(module):
     """Run every registered rule over one module."""
     findings: List[Finding] = []

@@ -140,6 +140,7 @@ def two_way_join(
     budget: Optional[QueryBudget] = None,
     on_budget: str = "partial",
     fault_injector=None,
+    tracer=None,
 ) -> Union[List[ScoredPair], PartialResult]:
     """Top-``k`` 2-way join between node sets ``left`` and ``right``.
 
@@ -183,6 +184,11 @@ def two_way_join(
         ``fault_injector`` installs a seeded
         :class:`~repro.exec.faults.FaultInjector` (also governed, even
         without a budget).
+    tracer:
+        Optional :class:`~repro.obs.QueryTracer`.  The query runs under
+        a root ``query`` span (installed on the engine for the call,
+        uninstalled in a ``finally``); results are unchanged — spans
+        only observe.
 
     Returns
     -------
@@ -190,6 +196,25 @@ def two_way_join(
         At most ``k`` pairs in descending score order — or, governed, a
         :class:`~repro.exec.budget.PartialResult` wrapping them.
     """
+    if tracer is not None:
+        if engine is None:
+            engine = WalkEngine(graph)
+        engine.tracer = tracer
+        try:
+            with tracer.span(
+                "query", "two-way", stats=engine.stats,
+                algorithm=algorithm.lower(), k=k,
+            ):
+                return two_way_join(
+                    graph, left, right, k, algorithm=algorithm,
+                    params=params, d=d, epsilon=epsilon, engine=engine,
+                    walk_cache=walk_cache, bound_cache=bound_cache,
+                    max_block_bytes=max_block_bytes, measure=measure,
+                    budget=budget, on_budget=on_budget,
+                    fault_injector=fault_injector,
+                )
+        finally:
+            engine.tracer = None
     resolved = _resolve_measure(measure)
     governed = budget is not None or fault_injector is not None
     if resolved is not None:
@@ -274,6 +299,7 @@ def multi_way_join(
     budget: Optional[QueryBudget] = None,
     on_budget: str = "partial",
     fault_injector=None,
+    tracer=None,
 ) -> Union[List[CandidateAnswer], PartialResult]:
     """Top-``k`` n-way join over ``query_graph`` (Definition 4).
 
@@ -336,6 +362,11 @@ def multi_way_join(
         Governed ``"pj-i"`` runs the governed ``PJ`` restart path
         (incremental refinement keeps no snapshot state); ``"nl"`` is
         rejected under a budget.
+    tracer:
+        Optional :class:`~repro.obs.QueryTracer`.  The query runs under
+        a root ``query`` span with nested ``plan``/``edge``/``refill``/
+        ``join``/``level`` spans from every layer it passes through;
+        results are unchanged — spans only observe.
 
     Returns
     -------
@@ -344,6 +375,28 @@ def multi_way_join(
         carries its node tuple and per-edge scores — or, governed, a
         :class:`~repro.exec.budget.PartialResult` wrapping them.
     """
+    if tracer is not None:
+        if engine is None:
+            engine = WalkEngine(graph)
+        engine.tracer = tracer
+        try:
+            with tracer.span(
+                "query", "multi-way", stats=engine.stats,
+                algorithm=algorithm.lower(), k=k,
+            ):
+                return multi_way_join(
+                    graph, query_graph, node_sets, k, algorithm=algorithm,
+                    aggregate=aggregate, m=m, params=params, d=d,
+                    epsilon=epsilon, engine=engine, walk_cache=walk_cache,
+                    share_walks=share_walks, bound_cache=bound_cache,
+                    share_bounds=share_bounds,
+                    max_block_bytes=max_block_bytes,
+                    walk_cache_bytes=walk_cache_bytes, measure=measure,
+                    plan=plan, budget=budget, on_budget=on_budget,
+                    fault_injector=fault_injector,
+                )
+        finally:
+            engine.tracer = None
     resolved = _resolve_measure(measure)
     governed = budget is not None or fault_injector is not None
     if resolved is not None:
@@ -479,6 +532,7 @@ def explain_multi_way_plan(
     walk_cache_bytes: Optional[int] = None,
     measure: Optional[Union[str, object]] = None,
     plan: object = "auto",
+    analyze: bool = False,
 ):
     """The :class:`~repro.planner.plan.ExplainedPlan` that
     :func:`multi_way_join` would execute — without running the join.
@@ -488,6 +542,14 @@ def explain_multi_way_plan(
     precisely what was explained (the CLI's ``--explain`` does this).
     Planning reads cheap degree statistics and probes the shared caches
     without building anything, so explaining is walk-free.
+
+    With ``analyze=True`` the resolved plan *is* executed, under a
+    private :class:`~repro.obs.QueryTracer`, and the return type becomes
+    an :class:`~repro.obs.AnalyzedPlan`: the plan annotated with
+    per-edge actuals (propagation steps, cache hits, peak block bytes,
+    refill counts) sourced from the trace, plus the answers the traced
+    run produced — bit-identical to an untraced :func:`multi_way_join`
+    with the same plan (the CLI's ``--explain analyze`` prints it).
     """
     resolved = _resolve_measure(measure)
     name = algorithm.lower()
@@ -518,7 +580,10 @@ def explain_multi_way_plan(
         )
         # The measure path has no incremental PJ-i; it runs PJ.
         strategy = "ap" if name == "ap" else "pj"
-        return spec.resolve_plan(strategy, m=m)
+        resolved_plan = spec.resolve_plan(strategy, m=m)
+        if not analyze:
+            return resolved_plan
+        return _analyze_plan(spec, strategy, resolved_plan, m)
     if name == "nl":
         raise GraphValidationError(
             "the NL strategy scores answers one tuple at a time; it has no "
@@ -548,4 +613,53 @@ def explain_multi_way_plan(
         walk_cache_bytes=walk_cache_bytes,
         plan=plan,
     )
-    return spec.resolve_plan(name, m=m)
+    resolved_plan = spec.resolve_plan(name, m=m)
+    if not analyze:
+        return resolved_plan
+    return _analyze_plan(spec, name, resolved_plan, m)
+
+
+def _run_planned(spec: NWayJoinSpec, strategy: str, resolved_plan, m: int):
+    """Execute ``resolved_plan`` verbatim through its matching executor."""
+    if spec.measure is not None:
+        from repro.extensions.series_join import (
+            SeriesAllPairsJoin,
+            SeriesPartialJoin,
+        )
+
+        if strategy == "ap":
+            return SeriesAllPairsJoin(spec, plan=resolved_plan).run()
+        return SeriesPartialJoin(spec, m=m, plan=resolved_plan).run()
+    if strategy == "ap":
+        return AllPairsJoin(spec, plan=resolved_plan).run()
+    if strategy == "pj":
+        return PartialJoin(spec, m=m, plan=resolved_plan).run()
+    return PartialJoinIncremental(spec, m=m, plan=resolved_plan).run()
+
+
+def _analyze_plan(spec: NWayJoinSpec, strategy: str, resolved_plan, m: int):
+    """Run the plan under a private tracer; annotate it with actuals."""
+    import time
+
+    from repro.obs import AnalyzedPlan, QueryTracer, edge_actuals_from_trace
+
+    tracer = QueryTracer()
+    spec.engine.tracer = tracer
+    t_start = time.perf_counter()
+    try:
+        with tracer.span(
+            "query", "explain-analyze", stats=spec.engine.stats,
+            algorithm=strategy, k=spec.k,
+        ):
+            answers = _run_planned(spec, strategy, resolved_plan, m)
+    finally:
+        spec.engine.tracer = None
+    elapsed = time.perf_counter() - t_start
+    root = tracer.traces[-1]
+    return AnalyzedPlan(
+        plan=resolved_plan,
+        actuals=edge_actuals_from_trace(root, resolved_plan),
+        answers=tuple(answers),
+        elapsed_s=elapsed,
+        trace=root,
+    )

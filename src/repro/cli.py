@@ -116,6 +116,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON")
+        add_obs_common(p)
+
+    def add_obs_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out", metavar="FILE", default=None,
+            help="run under the structured tracer and append the query's "
+                 "span tree to FILE as schema-tagged JSON lines "
+                 "(repro-trace-v1); export failures never affect results",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="FILE", default=None,
+            help="write a metrics snapshot after the run: Prometheus "
+                 "text if FILE ends in .prom, else appended JSON lines",
+        )
 
     two = sub.add_parser("two-way", help="top-k 2-way join")
     add_common(two)
@@ -156,10 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
              "are identical either way; only cost moves)",
     )
     multi.add_argument(
-        "--explain", action="store_true",
+        "--explain", nargs="?", const="plan", choices=("plan", "analyze"),
+        default=None,
         help="print the chosen plan (order, operators, cost estimates) "
              "before the answers; with --json the output becomes "
-             "{'plan': ..., 'results': ...}",
+             "{'plan': ..., 'results': ...}.  '--explain analyze' also "
+             "runs the query under the tracer and annotates each edge "
+             "with predicted vs. actual propagation steps, cache hits, "
+             "and peak block bytes",
     )
 
     stats = sub.add_parser("stats", help="print graph statistics")
@@ -190,12 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-query propagation-step budget")
         p.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON")
+        add_obs_common(p)
 
     serve = sub.add_parser(
         "serve",
         help="run a JSON request mix through the concurrent query service",
     )
     add_service_common(serve)
+    serve.add_argument(
+        "--metrics-interval", type=float, default=None, metavar="SECONDS",
+        help="with --metrics-out: flush a registry snapshot every "
+             "SECONDS while the service runs (plus one final snapshot)",
+    )
 
     bench = sub.add_parser(
         "bench-service",
@@ -223,6 +247,36 @@ def _unwrap(result):
     if isinstance(result, PartialResult):
         return result.results, result
     return result, None
+
+
+def _obs_setup(args, graph):
+    """``(engine, tracer)`` for ``--trace-out`` / ``--metrics-out``.
+
+    Both flags need the engine pinned up front (the API otherwise
+    creates one internally): the tracer installs on it, and the metrics
+    snapshot reads its stats after the run.  ``(None, None)`` when
+    neither flag is set — the query path stays untouched.
+    """
+    if args.trace_out is None and args.metrics_out is None:
+        return None, None
+    from repro.obs import QueryTracer
+    from repro.walks.engine import WalkEngine
+
+    engine = WalkEngine(graph)
+    tracer = QueryTracer() if args.trace_out is not None else None
+    return engine, tracer
+
+
+def _obs_export(args, engine, tracer) -> None:
+    """Write the trace/metrics files the flags asked for (never raises)."""
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+    if args.metrics_out is not None and engine is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.register_engine(engine.stats)
+        registry.write_snapshot(args.metrics_out)
 
 
 def _dht_params(args) -> DHTParams:
@@ -272,6 +326,7 @@ def _run_two_way(args) -> int:
     left, right = _resolve_sets(args.sets, [args.left, args.right])
     measure = _series_measure(args)
     budget = _budget(args)
+    engine, tracer = _obs_setup(args, graph)
     if measure is not None:
         result = two_way_join(
             graph, left, right, k=args.k,
@@ -279,6 +334,7 @@ def _run_two_way(args) -> int:
             measure=measure,
             max_block_bytes=args.max_block_bytes,
             budget=budget, on_budget=args.on_budget,
+            engine=engine, tracer=tracer,
         )
     else:
         result = two_way_join(
@@ -287,7 +343,9 @@ def _run_two_way(args) -> int:
             params=_dht_params(args), epsilon=args.epsilon,
             max_block_bytes=args.max_block_bytes,
             budget=budget, on_budget=args.on_budget,
+            engine=engine, tracer=tracer,
         )
+    _obs_export(args, engine, tracer)
     pairs, partial = _unwrap(result)
     if args.as_json:
         rows = [
@@ -321,15 +379,26 @@ def _run_multi_way(args) -> int:
     measure = _series_measure(args)
     budget = _budget(args)
     aggregate = aggregate_by_name(args.aggregate)
+    engine, tracer = _obs_setup(args, graph)
     plan_arg: object = args.plan
     plan_obj = None
+    analyzed = None
     if args.explain:
+        analyze = args.explain == "analyze"
+        if analyze and budget is not None:
+            raise GraphValidationError(
+                "--explain analyze runs the query ungoverned; drop "
+                "--deadline-ms/--step-budget or use --explain plan"
+            )
         # Plan once, print it, then replay that exact plan — the join
         # executes precisely what was explained (no double planning).
+        # With 'analyze' the traced replay happens inside the API call
+        # and its answers are the query's answers.
         explain_kwargs = dict(
             algorithm=args.algorithm, aggregate=aggregate, m=args.m,
             share_walks=args.share_walks, share_bounds=args.share_bounds,
             max_block_bytes=args.max_block_bytes, plan=args.plan,
+            engine=engine, analyze=analyze,
         )
         if measure is not None:
             plan_obj = explain_multi_way_plan(
@@ -341,33 +410,46 @@ def _run_multi_way(args) -> int:
                 params=_dht_params(args), epsilon=args.epsilon,
                 **explain_kwargs,
             )
-        plan_arg = plan_obj
-    if measure is not None:
-        result = multi_way_join(
-            graph, query, sets, k=args.k,
-            algorithm=args.algorithm,
-            aggregate=aggregate,
-            m=args.m,
-            measure=measure,
-            share_walks=args.share_walks,
-            share_bounds=args.share_bounds,
-            max_block_bytes=args.max_block_bytes,
-            plan=plan_arg,
-            budget=budget, on_budget=args.on_budget,
-        )
-    else:
-        result = multi_way_join(
-            graph, query, sets, k=args.k,
-            algorithm=args.algorithm,
-            aggregate=aggregate,
-            m=args.m,
-            params=_dht_params(args), epsilon=args.epsilon,
-            share_walks=args.share_walks,
-            share_bounds=args.share_bounds,
-            max_block_bytes=args.max_block_bytes,
-            plan=plan_arg,
-            budget=budget, on_budget=args.on_budget,
-        )
+        if analyze:
+            analyzed = plan_obj
+            if args.trace_out is not None and analyzed.trace is not None:
+                from repro.obs import write_trace_jsonl
+
+                write_trace_jsonl(args.trace_out, [analyzed.trace])
+            _obs_export(args, engine, None)
+            result = list(analyzed.answers)
+        else:
+            plan_arg = plan_obj
+    if analyzed is None:
+        if measure is not None:
+            result = multi_way_join(
+                graph, query, sets, k=args.k,
+                algorithm=args.algorithm,
+                aggregate=aggregate,
+                m=args.m,
+                measure=measure,
+                share_walks=args.share_walks,
+                share_bounds=args.share_bounds,
+                max_block_bytes=args.max_block_bytes,
+                plan=plan_arg,
+                budget=budget, on_budget=args.on_budget,
+                engine=engine, tracer=tracer,
+            )
+        else:
+            result = multi_way_join(
+                graph, query, sets, k=args.k,
+                algorithm=args.algorithm,
+                aggregate=aggregate,
+                m=args.m,
+                params=_dht_params(args), epsilon=args.epsilon,
+                share_walks=args.share_walks,
+                share_bounds=args.share_bounds,
+                max_block_bytes=args.max_block_bytes,
+                plan=plan_arg,
+                budget=budget, on_budget=args.on_budget,
+                engine=engine, tracer=tracer,
+            )
+        _obs_export(args, engine, tracer)
     answers, partial = _unwrap(result)
     if args.as_json:
         rows = [
@@ -538,7 +620,7 @@ def _response_payload(response) -> dict:
     return row
 
 
-def _service_from_args(args, graph):
+def _service_from_args(args, graph, tracer=None):
     from repro.service import QueryService
 
     return QueryService(
@@ -549,21 +631,50 @@ def _service_from_args(args, graph):
         default_budget=_budget(args),
         params=DHTParams.dht_lambda(args.decay),
         epsilon=args.epsilon,
+        tracer=tracer,
     )
 
 
 def _run_serve(args) -> int:
     graph = read_edge_list(args.graph)
     requests = _parse_requests(args.requests, args.sets)
-    with _service_from_args(args, graph) as service:
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import QueryTracer
+
+        tracer = QueryTracer()
+    flush_stop = None
+    with _service_from_args(args, graph, tracer=tracer) as service:
+        interval = getattr(args, "metrics_interval", None)
+        if args.metrics_out is not None and interval is not None:
+            import threading
+
+            registry = service.metrics_registry()
+            flush_stop = threading.Event()
+
+            def _flush_loop() -> None:
+                while not flush_stop.wait(interval):
+                    registry.write_snapshot(args.metrics_out)
+
+            threading.Thread(
+                target=_flush_loop, name="metrics-flush", daemon=True
+            ).start()
         tickets = [service.submit(request) for request in requests]
         responses = [ticket.result() for ticket in tickets]
         snapshot = service.stats()
+        if flush_stop is not None:
+            flush_stop.set()
+        if args.metrics_out is not None:
+            service.metrics_registry().write_snapshot(args.metrics_out)
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
     stats_row = dataclasses.asdict(snapshot)
+    slow = snapshot.slow_queries()
     if args.as_json:
         print(json.dumps({
             "responses": [_response_payload(r) for r in responses],
             "stats": stats_row,
+            "slow_queries": list(slow),
         }))
         return 0
     for rank, response in enumerate(responses, start=1):
@@ -583,6 +694,11 @@ def _run_serve(args) -> int:
     for key, value in stats_row.items():
         print(f"{key:>22}: {value:g}" if isinstance(value, float)
               else f"{key:>22}: {value}")
+    if slow:
+        print("# slow queries (worst latency first)")
+        for entry in slow:
+            print(f"  {entry['request']:<16} latency {entry['latency_ms']:8.2f} ms  "
+                  f"queued {entry['queued_ms']:7.2f} ms  exact={entry['exact']}")
     return 0
 
 
@@ -596,8 +712,13 @@ def _run_bench_service(args) -> int:
     requests = _parse_requests(args.requests, args.sets)
     from repro.service.stats import percentile
 
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import QueryTracer
+
+        tracer = QueryTracer()
     passes = []
-    with _service_from_args(args, graph) as service:
+    with _service_from_args(args, graph, tracer=tracer) as service:
         for run in range(1, args.runs + 1):
             before = service.stats()
             started = time.perf_counter()
@@ -620,6 +741,10 @@ def _run_bench_service(args) -> int:
                 "p99_ms": percentile(latencies, 0.99),
                 "walk_cache_hit_rate": (hits / lookups) if lookups else 0.0,
             })
+        if args.metrics_out is not None:
+            service.metrics_registry().write_snapshot(args.metrics_out)
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
     summary = {
         "workers": args.workers,
         "runs": args.runs,

@@ -70,16 +70,20 @@ class AllPairsJoin:
         for e in plan.build_order:
             ep = plan.edges[e]
             materializer_cls = _MATERIALIZERS[ep.operator]
-            if ep.operator == "b-bj" and ep.block_size is not None:
-                materializer = materializer_cls(
-                    spec.edge_context(e), block_size=ep.block_size
+            with spec.trace_edge_span(e, ep.operator):
+                if ep.operator == "b-bj" and ep.block_size is not None:
+                    materializer = materializer_cls(
+                        spec.edge_context(e), block_size=ep.block_size
+                    )
+                else:
+                    materializer = materializer_cls(spec.edge_context(e))
+                pairs = sort_pairs(materializer.all_pairs())
+                inputs[e] = MaterializedInput(
+                    pairs, name=spec.query_graph.edge_name(e)
                 )
-            else:
-                materializer = materializer_cls(spec.edge_context(e))
-            pairs = sort_pairs(materializer.all_pairs())
-            inputs[e] = MaterializedInput(pairs, name=spec.query_graph.edge_name(e))
-        driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
-        answers = driver.run()
+        with spec.engine.trace_span("rankjoin", self.name):
+            driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+            answers = driver.run()
         self.stats = driver.stats
         return answers
 

@@ -143,17 +143,28 @@ class PartialJoin:
         # ``e``), so build order affects walk-cache residency — never
         # which pairs an edge yields.
         for e in plan.build_order:
-            context = spec.edge_context(e)
-            algorithm_cls = two_way_algorithm_by_name(plan.edges[e].operator)
-            provider = _RestartProvider(context, algorithm_cls, self._m)
-            providers.append(provider)
+            operator = plan.edges[e].operator
+            algorithm_cls = two_way_algorithm_by_name(operator)
+            with spec.trace_edge_span(e, operator):
+                context = spec.edge_context(e)
+                provider = _RestartProvider(context, algorithm_cls, self._m)
+                providers.append(provider)
+                initial = provider.initial()
+
+            def refill(provider=provider, e=e, operator=operator):
+                # Restart refills trace as ``refill`` spans so
+                # explain-analyze attributes their walks to the edge.
+                with spec.trace_edge_span(e, operator, kind="refill"):
+                    return provider.next_pair()
+
             inputs[e] = LazyInput(
-                provider.initial(),
-                refill=provider.next_pair,
+                initial,
+                refill=refill,
                 name=spec.query_graph.edge_name(e),
             )
-        driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
-        answers = driver.run()
+        with spec.engine.trace_span("rankjoin", self.name):
+            driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+            answers = driver.run()
         self.stats.next_pair_calls = sum(p.restarts for p in providers)
         self.stats.rank_join_pulls = driver.stats.pulls
         self.stats.pulls_per_edge = driver.stats.pulls_per_edge

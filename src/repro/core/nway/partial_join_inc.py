@@ -92,16 +92,29 @@ class PartialJoinIncremental:
         inputs: List[LazyInput] = [None] * num_edges
         joins = []
         for e in plan.build_order:
-            context = spec.edge_context(e)
-            join = IncrementalTwoWayJoin(context, bound_factory=self._bound_factory)
-            joins.append(join)
+            operator = plan.edges[e].operator
+            with spec.trace_edge_span(e, operator):
+                context = spec.edge_context(e)
+                join = IncrementalTwoWayJoin(
+                    context, bound_factory=self._bound_factory
+                )
+                joins.append(join)
+                initial = join.top(self._m)
+
+            def refill(join=join, e=e, operator=operator):
+                # F-structure refinements trace as ``refill`` spans so
+                # explain-analyze attributes their walks to the edge.
+                with spec.trace_edge_span(e, operator, kind="refill"):
+                    return join.next_pair()
+
             inputs[e] = LazyInput(
-                join.top(self._m),
-                refill=join.next_pair,
+                initial,
+                refill=refill,
                 name=spec.query_graph.edge_name(e),
             )
-        driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
-        answers = driver.run()
+        with spec.engine.trace_span("rankjoin", self.name):
+            driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+            answers = driver.run()
         self.stats.next_pair_calls = sum(inp.refill_calls for inp in inputs)
         self.stats.rank_join_pulls = driver.stats.pulls
         self.stats.pulls_per_edge = driver.stats.pulls_per_edge

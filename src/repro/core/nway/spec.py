@@ -13,7 +13,7 @@ from repro.core.nway.query_graph import QueryGraph
 from repro.graph.digraph import Graph
 from repro.graph.validation import GraphValidationError, validate_node_set
 from repro.walks.cache import WalkCache
-from repro.walks.engine import WalkEngine
+from repro.walks.engine import NULL_SPAN, WalkEngine
 
 
 @dataclass
@@ -185,13 +185,47 @@ class NWayJoinSpec:
         """
         from repro.planner.plan import resolve_spec_plan
 
-        return resolve_spec_plan(
-            self,
-            strategy,
-            plan=plan,
-            default_operator=default_operator,
-            m=m,
-            feedback=feedback,
+        with self.engine.trace_span("plan", strategy):
+            return resolve_spec_plan(
+                self,
+                strategy,
+                plan=plan,
+                default_operator=default_operator,
+                m=m,
+                feedback=feedback,
+            )
+
+    def trace_edge_span(
+        self, edge_index: int, operator: Optional[str] = None,
+        kind: str = "edge",
+    ):
+        """A trace span for one query edge's build (or ``refill``).
+
+        Every n-way executor wraps its per-edge work in one of these,
+        which is how explain-analyze attributes propagation steps,
+        cache hits, and block bytes back to plan rows.  Alongside the
+        engine-stat deltas the span captures the shared walk cache's
+        hit/miss deltas (exact for single-threaded queries, advisory
+        when the cache is concurrently shared).  No tracer installed
+        means the shared no-op span — one attribute read.
+        """
+        tracer = self.engine.tracer
+        if tracer is None:
+            return NULL_SPAN
+        extra = None
+        if self.walk_cache is not None:
+            cache_stats = self.walk_cache.stats
+            extra = lambda: {  # noqa: E731 - tiny capture closure
+                "walk_cache_hits": cache_stats.hits,
+                "walk_cache_misses": cache_stats.misses,
+            }
+        return tracer.span(
+            kind,
+            name=self.query_graph.edge_name(edge_index),
+            stats=self.engine.stats,
+            extra=extra,
+            edge=edge_index,
+            operator=operator,
         )
 
     def edge_node_sets(self, edge_index: int) -> tuple:

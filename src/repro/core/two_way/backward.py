@@ -291,6 +291,12 @@ class BackwardBasicJoin:
 
     def all_pairs(self) -> List[ScoredPair]:
         """Score every candidate pair (unsorted)."""
+        with self._ctx.engine.trace_span(
+            "join", self.name, targets=len(self._ctx.right)
+        ):
+            return self._all_pairs()
+
+    def _all_pairs(self) -> List[ScoredPair]:
         ctx = self._ctx
         if self._block_size == 1:
             pairs: List[ScoredPair] = []
@@ -520,6 +526,12 @@ class BackwardIDJ:
             raise GraphValidationError(f"k must be >= 0, got {k}")
         if k == 0:
             return []
+        with self._ctx.engine.trace_span(
+            "join", self.name, k=k, targets=len(self._ctx.right)
+        ):
+            return self._top_k(k)
+
+    def _top_k(self, k: int) -> List[ScoredPair]:
         ctx = self._ctx
         self.budget_snapshot = None
         bound = self._bound_factory(ctx)
@@ -533,70 +545,82 @@ class BackwardIDJ:
 
         level = 1
         while level < ctx.d:
-            ctx.engine.checkpoint("round")
-            # The seed's per-p Python loop, vectorised: gather the left
-            # rows of every column as its vector streams past, mask
-            # reflexive pairs, take column maxima, and feed informative
-            # entries to the bounded floor.  Only the (|P|, width)
-            # left-row slice is retained — never the full vectors.
-            width = len(active)
-            targets_arr = np.asarray(active, dtype=np.int64)
-            tails = np.array([bound.tail(level, q) for q in active])
-            column_of = {q: j for j, q in enumerate(active)}
-            left_scores = np.empty((left.size, width), dtype=np.float64)
+            with ctx.engine.trace_span(
+                "level", level=level, active=len(active)
+            ) as level_span:
+                ctx.engine.checkpoint("round")
+                # The seed's per-p Python loop, vectorised: gather the
+                # left rows of every column as its vector streams past,
+                # mask reflexive pairs, take column maxima, and feed
+                # informative entries to the bounded floor.  Only the
+                # (|P|, width) left-row slice is retained — never the
+                # full vectors.
+                width = len(active)
+                targets_arr = np.asarray(active, dtype=np.int64)
+                tails = np.array([bound.tail(level, q) for q in active])
+                column_of = {q: j for j, q in enumerate(active)}
+                left_scores = np.empty((left.size, width), dtype=np.float64)
 
-            def gather(q, vector, level=level, tails=tails,
-                       column_of=column_of, left_scores=left_scores):
-                j = column_of[q]
-                if self._observer is not None:
-                    self._observer.observe(q, level, vector, float(tails[j]))
-                left_scores[:, j] = vector[left]
+                def gather(q, vector, level=level, tails=tails,
+                           column_of=column_of, left_scores=left_scores):
+                    j = column_of[q]
+                    if self._observer is not None:
+                        self._observer.observe(
+                            q, level, vector, float(tails[j])
+                        )
+                    left_scores[:, j] = vector[left]
 
-            rounds.walk_level(active, level, gather)
-            # Snapshot only after every column of this round has been
-            # gathered: h_level is a monotone lower bound and tail_level
-            # a sound upper increment for every then-active target.
-            self.budget_snapshot = {
-                "level": level,
-                "targets": list(active),
-                "left": list(ctx.left),
-                "left_scores": left_scores,
-                "tails": tails,
-            }
-            valid = left[:, None] != targets_arr[None, :]
-            floor = BoundedTopK(k)
-            # Algorithm 2, step 7: only informative lower bounds (pairs
-            # with at least one hit within `level` steps) enter the floor.
-            floor.push(left_scores[valid & (left_scores > zero)])
-            best = np.where(valid, left_scores, -np.inf).max(axis=0)
-            best = np.maximum(best, zero)
-            t_k = floor.kth_largest()
-            keep = best + tails >= t_k
-            surviving = [q for q, flag in zip(active, keep) if flag]
-            self.pruning_trace.append(
-                {
+                rounds.walk_level(active, level, gather)
+                # Snapshot only after every column of this round has been
+                # gathered: h_level is a monotone lower bound and
+                # tail_level a sound upper increment for every
+                # then-active target.
+                self.budget_snapshot = {
                     "level": level,
-                    "active_before": len(active),
-                    "pruned": len(active) - len(surviving),
-                    "threshold": t_k,
+                    "targets": list(active),
+                    "left": list(ctx.left),
+                    "left_scores": left_scores,
+                    "tails": tails,
                 }
-            )
-            rounds.donate_pruned(
-                q for q, flag in zip(active, keep) if not flag
-            )
-            rounds.repack(set(surviving), level)
-            active = surviving
-            level *= 2
+                valid = left[:, None] != targets_arr[None, :]
+                floor = BoundedTopK(k)
+                # Algorithm 2, step 7: only informative lower bounds
+                # (pairs with at least one hit within `level` steps)
+                # enter the floor.
+                floor.push(left_scores[valid & (left_scores > zero)])
+                best = np.where(valid, left_scores, -np.inf).max(axis=0)
+                best = np.maximum(best, zero)
+                t_k = floor.kth_largest()
+                keep = best + tails >= t_k
+                surviving = [q for q, flag in zip(active, keep) if flag]
+                self.pruning_trace.append(
+                    {
+                        "level": level,
+                        "active_before": len(active),
+                        "pruned": len(active) - len(surviving),
+                        "threshold": t_k,
+                    }
+                )
+                level_span.set(pruned=len(active) - len(surviving))
+                rounds.donate_pruned(
+                    q for q, flag in zip(active, keep) if not flag
+                )
+                rounds.repack(set(surviving), level)
+                active = surviving
+                level *= 2
 
-        ctx.engine.checkpoint("round")
-        pairs: List[ScoredPair] = []
+        with ctx.engine.trace_span(
+            "level", level=ctx.d, active=len(active), final=True
+        ):
+            ctx.engine.checkpoint("round")
+            pairs: List[ScoredPair] = []
 
-        def emit(q, vector):
-            if self._observer is not None:
-                self._observer.observe(q, ctx.d, vector, 0.0)
-            pairs.extend(ctx.pairs_for_target(vector, q))
+            def emit(q, vector):
+                if self._observer is not None:
+                    self._observer.observe(q, ctx.d, vector, 0.0)
+                pairs.extend(ctx.pairs_for_target(vector, q))
 
-        rounds.walk_level(active, ctx.d, emit)
+            rounds.walk_level(active, ctx.d, emit)
         return top_k_pairs(pairs, k)
 
     def top_k_reference(self, k: int) -> List[ScoredPair]:

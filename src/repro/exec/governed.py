@@ -245,49 +245,54 @@ def run_governed_multi_way(
     for e in edge_plan.build_order:
         edge_name = spec.query_graph.edge_name(e)
         operator = edge_plan.edges[e].operator
-        try:
-            context = spec.edge_context(e)
-        except BudgetExhaustedError as exc:
-            # The budget died before this edge even started: it
-            # contributes an empty stream (sound — no fabricated pairs).
-            governor.count_budget_stop()
-            reasons.append(exc.reason)
-            inputs[e] = MaterializedInput([], name=edge_name)
-            continue
-        if name == "ap":
-            # The governed AP materialisers stay the snapshot-capable
-            # backward pair regardless of the plan operator — the plan
-            # contributes the build order.
-            join = _edge_join(spec, context, operator, deepening=False)
-            partial = run_governed_all_pairs(join, governor, on_budget="partial")
-            if not partial.exact:
-                reasons.append(partial.reason)
+        with spec.trace_edge_span(e, operator):
+            try:
+                context = spec.edge_context(e)
+            except BudgetExhaustedError as exc:
+                # The budget died before this edge even started: it
+                # contributes an empty stream (sound — no fabricated
+                # pairs).
+                governor.count_budget_stop()
+                reasons.append(exc.reason)
+                inputs[e] = MaterializedInput([], name=edge_name)
+                continue
+            if name == "ap":
+                # The governed AP materialisers stay the
+                # snapshot-capable backward pair regardless of the plan
+                # operator — the plan contributes the build order.
+                join = _edge_join(spec, context, operator, deepening=False)
+                partial = run_governed_all_pairs(
+                    join, governor, on_budget="partial"
+                )
+                if not partial.exact:
+                    reasons.append(partial.reason)
+                for pair, interval in zip(partial.results, partial.bounds):
+                    intervals[(e, pair.left, pair.right)] = interval
+                inputs[e] = MaterializedInput(partial.results, name=edge_name)
+                continue
+            if spec.measure is not None:
+                provider = _SeriesRestartProvider(
+                    context,
+                    m,
+                    join_cls=(
+                        SeriesBackwardJoin if operator == "basic" else SeriesIDJ
+                    ),
+                )
+            else:
+                provider = _RestartProvider(
+                    context, two_way_algorithm_by_name(operator), m
+                )
+            join = _edge_join(spec, context, operator, deepening=True)
+            partial = run_governed_top_k(join, m, governor, on_budget="partial")
             for pair, interval in zip(partial.results, partial.bounds):
                 intervals[(e, pair.left, pair.right)] = interval
-            inputs[e] = MaterializedInput(partial.results, name=edge_name)
-            continue
-        if spec.measure is not None:
-            provider = _SeriesRestartProvider(
-                context,
-                m,
-                join_cls=(
-                    SeriesBackwardJoin if operator == "basic" else SeriesIDJ
-                ),
-            )
-        else:
-            provider = _RestartProvider(
-                context, two_way_algorithm_by_name(operator), m
-            )
-        join = _edge_join(spec, context, operator, deepening=True)
-        partial = run_governed_top_k(join, m, governor, on_budget="partial")
-        for pair, interval in zip(partial.results, partial.bounds):
-            intervals[(e, pair.left, pair.right)] = interval
         if partial.exact:
-            def refill(provider=provider, e=e):
+            def refill(provider=provider, e=e, operator=operator):
                 # A restart refill that hits the budget exhausts this
                 # input instead of erroring the whole rank join.
                 try:
-                    pair = provider.next_pair()
+                    with spec.trace_edge_span(e, operator, kind="refill"):
+                        pair = provider.next_pair()
                 except BudgetExhaustedError as exc:
                     governor.count_budget_stop()
                     reasons.append(exc.reason)
@@ -310,7 +315,8 @@ def run_governed_multi_way(
 
     driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
     try:
-        answers = driver.run()
+        with spec.engine.trace_span("rankjoin", name):
+            answers = driver.run()
     except BudgetExhaustedError as exc:
         # Checkpoints inside cached-walk lookups can still fire during
         # candidate expansion; the buffered answers so far are sound.

@@ -191,6 +191,12 @@ class SeriesBackwardJoin:
 
     def all_pairs(self) -> List[ScoredPair]:
         """Score every candidate pair (unsorted)."""
+        with self._ctx.engine.trace_span(
+            "join", self.name, targets=len(self._ctx.right)
+        ):
+            return self._all_pairs()
+
+    def _all_pairs(self) -> List[ScoredPair]:
         ctx, measure = self._ctx, self._measure
         if self._block_size == 1:
             pairs: List[ScoredPair] = []
@@ -277,6 +283,12 @@ class SeriesIDJ(SeriesBackwardJoin):
             raise GraphValidationError(f"k must be >= 0, got {k}")
         if k == 0:
             return []
+        with self._ctx.engine.trace_span(
+            "join", self.name, k=k, targets=len(self._ctx.right)
+        ):
+            return self._top_k(k)
+
+    def _top_k(self, k: int) -> List[ScoredPair]:
         ctx, measure = self._ctx, self._measure
         engine, cache = ctx.engine, ctx.walk_cache
         kern = measure.kernel()
@@ -344,61 +356,71 @@ class SeriesIDJ(SeriesBackwardJoin):
 
         level = 1
         while level < measure.d:
-            engine.checkpoint("round")
-            width = len(active)
-            targets_arr = np.asarray(active, dtype=np.int64)
-            tails = np.array([bound.tail(level, q) for q in active])
-            column_of = {q: j for j, q in enumerate(active)}
-            left_scores = np.empty((left.size, width), dtype=np.float64)
+            with engine.trace_span(
+                "level", level=level, active=len(active)
+            ) as level_span:
+                engine.checkpoint("round")
+                width = len(active)
+                targets_arr = np.asarray(active, dtype=np.int64)
+                tails = np.array([bound.tail(level, q) for q in active])
+                column_of = {q: j for j, q in enumerate(active)}
+                left_scores = np.empty((left.size, width), dtype=np.float64)
 
-            def gather(q, vector, column_of=column_of, left_scores=left_scores):
-                left_scores[:, column_of[q]] = vector[left]
+                def gather(q, vector, column_of=column_of,
+                           left_scores=left_scores):
+                    left_scores[:, column_of[q]] = vector[left]
 
-            walk_level(level, gather)
-            # Every column of this round gathered: h_level is a monotone
-            # lower bound and tail(level) a sound upper increment, so a
-            # budget stop after this point can emit flagged-partial
-            # results with oracle-containing intervals.
-            self.budget_snapshot = {
-                "level": level,
-                "targets": list(active),
-                "left": list(ctx.left),
-                "left_scores": left_scores,
-                "tails": tails,
-            }
-            valid = left[:, None] != targets_arr[None, :]
-            floor_acc = BoundedTopK(k)
-            # Only informative lower bounds (a nonzero statistic within
-            # `level` steps) enter the floor, mirroring Algorithm 2.
-            floor_acc.push(left_scores[valid & (left_scores > floor_value)])
-            best = np.where(valid, left_scores, -np.inf).max(axis=0)
-            best = np.maximum(best, floor_value)
-            t_k = floor_acc.kth_largest()
-            keep = best + tails >= t_k
-            surviving = [q for q, flag in zip(active, keep) if flag]
-            self.pruning_trace.append(
-                {
+                walk_level(level, gather)
+                # Every column of this round gathered: h_level is a
+                # monotone lower bound and tail(level) a sound upper
+                # increment, so a budget stop after this point can emit
+                # flagged-partial results with oracle-containing
+                # intervals.
+                self.budget_snapshot = {
                     "level": level,
-                    "active_before": len(active),
-                    "pruned": len(active) - len(surviving),
-                    "threshold": t_k,
+                    "targets": list(active),
+                    "left": list(ctx.left),
+                    "left_scores": left_scores,
+                    "tails": tails,
                 }
-            )
-            if rounds is not None:
-                rounds.donate_pruned(
-                    q for q, flag in zip(active, keep) if not flag
+                valid = left[:, None] != targets_arr[None, :]
+                floor_acc = BoundedTopK(k)
+                # Only informative lower bounds (a nonzero statistic
+                # within `level` steps) enter the floor, mirroring
+                # Algorithm 2.
+                floor_acc.push(left_scores[valid & (left_scores > floor_value)])
+                best = np.where(valid, left_scores, -np.inf).max(axis=0)
+                best = np.maximum(best, floor_value)
+                t_k = floor_acc.kth_largest()
+                keep = best + tails >= t_k
+                surviving = [q for q, flag in zip(active, keep) if flag]
+                self.pruning_trace.append(
+                    {
+                        "level": level,
+                        "active_before": len(active),
+                        "pruned": len(active) - len(surviving),
+                        "threshold": t_k,
+                    }
                 )
-                rounds.repack(set(surviving), level)
-            active = surviving
-            level *= 2
+                level_span.set(pruned=len(active) - len(surviving))
+                if rounds is not None:
+                    rounds.donate_pruned(
+                        q for q, flag in zip(active, keep) if not flag
+                    )
+                    rounds.repack(set(surviving), level)
+                active = surviving
+                level *= 2
 
-        engine.checkpoint("round")
-        pairs: List[ScoredPair] = []
+        with engine.trace_span(
+            "level", level=measure.d, active=len(active), final=True
+        ):
+            engine.checkpoint("round")
+            pairs: List[ScoredPair] = []
 
-        def emit(q, vector):
-            pairs.extend(ctx.pairs_for_target(vector, q))
+            def emit(q, vector):
+                pairs.extend(ctx.pairs_for_target(vector, q))
 
-        walk_level(measure.d, emit)
+            walk_level(measure.d, emit)
         return top_k_pairs(pairs, k)
 
     def _make_bound(self):
@@ -526,14 +548,17 @@ class SeriesAllPairsJoin:
             ep = plan.edges[e]
             if block_size == DEFAULT_BLOCK_SIZE and ep.block_size is not None:
                 block_size = ep.block_size
-            join = SeriesBackwardJoin.from_context(
-                spec.edge_context(e), block_size=block_size
-            )
-            inputs[e] = MaterializedInput(
-                sort_pairs(join.all_pairs()), name=spec.query_graph.edge_name(e)
-            )
-        driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
-        answers = driver.run()
+            with spec.trace_edge_span(e, ep.operator):
+                join = SeriesBackwardJoin.from_context(
+                    spec.edge_context(e), block_size=block_size
+                )
+                inputs[e] = MaterializedInput(
+                    sort_pairs(join.all_pairs()),
+                    name=spec.query_graph.edge_name(e),
+                )
+        with spec.engine.trace_span("rankjoin", self.name):
+            driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+            answers = driver.run()
         self.stats = driver.stats
         return answers
 
@@ -606,18 +631,30 @@ class SeriesPartialJoin:
         inputs: List[Optional[LazyInput]] = [None] * num_edges
         providers = []
         for e in plan.build_order:
-            join_cls = self._OPERATORS[plan.edges[e].operator]
-            provider = _SeriesRestartProvider(
-                spec.edge_context(e), self._m, join_cls=join_cls
-            )
-            providers.append(provider)
+            operator = plan.edges[e].operator
+            join_cls = self._OPERATORS[operator]
+            with spec.trace_edge_span(e, operator):
+                provider = _SeriesRestartProvider(
+                    spec.edge_context(e), self._m, join_cls=join_cls
+                )
+                providers.append(provider)
+                initial = provider.initial()
+
+            def refill(provider=provider, e=e, operator=operator):
+                # Each restart refill is traced as its own ``refill``
+                # span so explain-analyze can attribute its walks to
+                # the edge's plan row.
+                with spec.trace_edge_span(e, operator, kind="refill"):
+                    return provider.next_pair()
+
             inputs[e] = LazyInput(
-                provider.initial(),
-                refill=provider.next_pair,
+                initial,
+                refill=refill,
                 name=spec.query_graph.edge_name(e),
             )
-        driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
-        answers = driver.run()
+        with spec.engine.trace_span("rankjoin", self.name):
+            driver = PBRJ(spec.query_graph, spec.aggregate, inputs, spec.k)
+            answers = driver.run()
         self.stats.next_pair_calls = sum(p.restarts for p in providers)
         self.stats.rank_join_pulls = driver.stats.pulls
         self.stats.pulls_per_edge = driver.stats.pulls_per_edge

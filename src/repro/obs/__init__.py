@@ -1,0 +1,58 @@
+"""Observability layer: query tracing, unified metrics, explain-analyze.
+
+Three pieces (see ``docs/OBSERVABILITY.md`` for the full taxonomy):
+
+* :class:`QueryTracer` / :class:`TraceSpan` — structured spans emitted
+  from the cooperative hook points the governor already threads through
+  the engine, rounds, joins, executors, and service; disabled tracing
+  costs one thread-local attribute read per hook.
+* :class:`MetricsRegistry` — one named, labeled snapshot surface over
+  engine/cache/service counters, with JSON-lines and Prometheus-text
+  exporters.
+* :class:`AnalyzedPlan` — an :class:`~repro.planner.plan.ExplainedPlan`
+  annotated with per-edge actuals sourced from a trace
+  (``api.explain_multi_way_plan(..., analyze=True)`` /
+  ``--explain analyze``).
+"""
+
+from repro.obs.analyze import (
+    AnalyzedPlan,
+    EdgeActuals,
+    edge_actuals_from_trace,
+)
+from repro.obs.metrics import (
+    METRIC_NAMES,
+    MetricSample,
+    MetricsRegistry,
+    render_jsonl,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    SPAN_KINDS,
+    TRACE_COUNTERS,
+    TRACE_SCHEMA,
+    QueryTracer,
+    TraceSpan,
+    validate_trace_dict,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "AnalyzedPlan",
+    "EdgeActuals",
+    "edge_actuals_from_trace",
+    "METRIC_NAMES",
+    "MetricSample",
+    "MetricsRegistry",
+    "render_jsonl",
+    "render_prometheus",
+    "NULL_SPAN",
+    "SPAN_KINDS",
+    "TRACE_COUNTERS",
+    "TRACE_SCHEMA",
+    "QueryTracer",
+    "TraceSpan",
+    "validate_trace_dict",
+    "write_trace_jsonl",
+]

@@ -128,6 +128,13 @@ class QueryService:
         Capacity knobs for each measure tier's shared caches.
     clock:
         Injectable monotonic clock (seconds) for deterministic tests.
+    tracer:
+        Optional :class:`~repro.obs.QueryTracer` shared by every
+        worker: each executed request runs under a ``service`` root
+        span (queue wait recorded as ``queued_ms``) with the full
+        query-span tree nested inside, and admission outcomes count as
+        tracer counters (``admitted`` / ``rejected``).  Span stacks
+        are per-thread, so concurrent workers never interleave spans.
 
     Use as a context manager, or call :meth:`close` — worker threads are
     non-daemonic between those points.
@@ -148,6 +155,7 @@ class QueryService:
         walk_cache_bytes: Optional[int] = None,
         bound_cache_entries: int = 64,
         clock=time.monotonic,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise GraphValidationError(f"workers must be >= 1, got {workers}")
@@ -171,6 +179,7 @@ class QueryService:
         self._walk_cache_bytes = walk_cache_bytes
         self._bound_cache_entries = bound_cache_entries
         self._clock = clock
+        self._tracer = tracer
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
         self._queue_depth = queue_depth
         self._max_in_flight = (
@@ -229,11 +238,17 @@ class QueryService:
         resolved = self._resolve_measure(measure)
         return self._tier_for(resolved)
 
+    @property
+    def tracer(self):
+        """The installed :class:`~repro.obs.QueryTracer`, if any."""
+        return self._tracer
+
     def stats(self) -> ServiceStats:
         """One consistent :class:`~repro.service.stats.ServiceStats` snapshot."""
         with self._stats_lock:
             acc = self._acc
-            latencies = sorted(acc.latencies_ms)
+            latencies = sorted(acc.latency_window())
+            slow = acc.slow_queries()
             completed = acc.completed
             elapsed = 0.0
             if completed and acc.last_complete > acc.first_submit:
@@ -260,7 +275,7 @@ class QueryService:
             bound_hits += bound_cache.stats.y_hits + bound_cache.stats.x_hits
             plan_hits += bound_cache.stats.plan_hits
         lookups = walk_hits + walk_misses
-        return ServiceStats(
+        stats = ServiceStats(
             walk_cache_hits=walk_hits,
             walk_cache_misses=walk_misses,
             walk_cache_hit_rate=(walk_hits / lookups) if lookups else 0.0,
@@ -269,6 +284,59 @@ class QueryService:
             budget_stops=self._engine.stats.budget_stops,
             **snapshot,
         )
+        # The slow-query log rides along outside the dataclass fields,
+        # keeping ``asdict`` snapshots purely numeric (the CLI formats
+        # every field with ``:g``).
+        object.__setattr__(stats, "_slow_queries", slow)
+        return stats
+
+    def metrics_registry(self):
+        """A :class:`~repro.obs.MetricsRegistry` over this service.
+
+        Registers the engine counters, the service snapshot, and — via
+        a dynamic source, because tiers are created lazily on first use
+        — every measure tier's walk/bound cache counters, labeled
+        ``tier=<index>`` in creation order.
+        """
+        from repro.obs import MetricsRegistry
+        from repro.obs.metrics import (
+            BOUND_CACHE_FIELDS,
+            WALK_CACHE_FIELDS,
+            MetricSample,
+        )
+
+        registry = MetricsRegistry()
+        registry.register_engine(self._engine.stats)
+        registry.register_service(self)
+
+        def tier_source():
+            with self._tiers_lock:
+                tiers = list(self._tiers.values())
+            samples = []
+            for index, (walk_cache, bound_cache) in enumerate(tiers):
+                labels = (("tier", str(index)),)
+                walk = walk_cache.stats
+                samples.extend(
+                    MetricSample(
+                        f"repro_walk_cache_{field}_total",
+                        float(getattr(walk, field)),
+                        labels,
+                    )
+                    for field in WALK_CACHE_FIELDS
+                )
+                bound = bound_cache.stats
+                samples.extend(
+                    MetricSample(
+                        f"repro_bound_cache_{field}_total",
+                        float(getattr(bound, field)),
+                        labels,
+                    )
+                    for field in BOUND_CACHE_FIELDS
+                )
+            return samples
+
+        registry.register_source(tier_source)
+        return registry
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -316,6 +384,8 @@ class QueryService:
                     ticket, f"request queue is full (depth {self._queue_depth})"
                 )
             self._in_flight += 1
+        if self._tracer is not None:
+            self._tracer.count("admitted")
         return ticket
 
     def query(self, request: object, timeout: Optional[float] = None) -> QueryResponse:
@@ -336,6 +406,8 @@ class QueryService:
         )
         with self._stats_lock:
             self._acc.record_response(response, self._clock())
+        if self._tracer is not None:
+            self._tracer.count("rejected")
         ticket._complete(response)
         return ticket
 
@@ -394,10 +466,28 @@ class QueryService:
                 )
             # Queueing time is part of the query's wall budget.
             budget = replace(budget, deadline_ms=remaining)
+        tracer = self._tracer
+        engine = self._engine
+        if tracer is not None:
+            # Per-request install on the engine's *thread-local* tracer
+            # slot: concurrent workers each trace their own request
+            # without any lock; uninstall keeps the slot clean for
+            # untraced work on the same thread.
+            engine.tracer = tracer
         try:
-            result = self._dispatch(request, budget)
+            if tracer is not None:
+                with tracer.span(
+                    "service", type(request).__name__,
+                    stats=engine.stats, queued_ms=queued_ms,
+                ):
+                    result = self._dispatch(request, budget)
+            else:
+                result = self._dispatch(request, budget)
         except GraphValidationError as exc:
             return respond(STATUS_ERROR, error=str(exc))
+        finally:
+            if tracer is not None:
+                engine.tracer = None
         return respond(STATUS_OK, result=result)
 
     def _dispatch(self, request: object, budget: Optional[QueryBudget]):

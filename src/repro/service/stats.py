@@ -7,12 +7,32 @@ and folds in the shared cache tiers' hit counters at snapshot time, so
 one call answers the operational questions: how fast (QPS, p50/p99),
 how warm (cross-query cache-hit rates), and how often degraded
 (rejected / partial / error counts).
+
+Two bounded structures keep a long-lived service's accounting flat:
+
+* latencies live in a fixed :data:`LATENCY_WINDOW`-slot ring (the old
+  accumulator appended every completed request's latency forever, so a
+  service that served millions of queries leaked a float per query and
+  re-sorted an ever-growing list on every snapshot) — percentiles are
+  computed over the most recent window;
+* the worst-latency completed requests are kept in a
+  :data:`SLOW_QUERY_RING`-entry min-heap of summaries, dumped via
+  :meth:`ServiceStats.slow_queries` — the slow-query log.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
+
+#: Completed-request latencies retained for the p50/p99 percentiles —
+#: a fixed-size ring, so snapshot cost and memory stay flat no matter
+#: how long the service runs.
+LATENCY_WINDOW = 2048
+
+#: Worst-latency request summaries retained for the slow-query log.
+SLOW_QUERY_RING = 16
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -38,6 +58,9 @@ class ServiceStats:
     ``partial`` counts completed-but-flagged results (budget stops,
     including deadline expiry while still queued); ``rejected`` counts
     clean admission refusals; neither is ever silent.
+
+    ``p50_ms`` / ``p99_ms`` are computed over the most recent
+    :data:`LATENCY_WINDOW` completed requests, not the full history.
     """
 
     submitted: int
@@ -57,13 +80,26 @@ class ServiceStats:
     plan_cache_hits: int
     budget_stops: int
 
+    def slow_queries(self) -> Tuple[dict, ...]:
+        """Worst-latency completed requests, slowest first.
+
+        Each entry is a summary dict (``latency_ms``, ``queued_ms``,
+        ``request``, ``exact``) from the bounded slow-query ring.
+        Deliberately *not* a dataclass field: ``dataclasses.asdict``
+        snapshots (the CLI's ``serve`` printout, the metrics registry)
+        stay purely numeric.
+        """
+        return getattr(self, "_slow_queries", ())
+
 
 class StatsAccumulator:
     """Mutable counters behind :class:`ServiceStats` (lock owned by caller).
 
     The service records each response exactly once; latencies are kept
     for completed (``status == "ok"``) requests only, so percentiles
-    measure served answers, not rejections.
+    measure served answers, not rejections.  Both the latency ring and
+    the slow-query heap are bounded — recording is O(1) amortised and
+    the accumulator's memory does not grow with service lifetime.
     """
 
     def __init__(self) -> None:
@@ -73,9 +109,16 @@ class StatsAccumulator:
         self.partial = 0
         self.rejected = 0
         self.errors = 0
-        self.latencies_ms: List[float] = []
         self.first_submit: float = 0.0
         self.last_complete: float = 0.0
+        self._latency_ring: List[float] = []
+        self._latency_pos = 0
+        # Min-heap of (latency_ms, seq, summary): the root is the
+        # fastest of the retained worst, evicted when a slower request
+        # completes.  ``seq`` breaks latency ties without comparing
+        # dicts.
+        self._slow_heap: List[Tuple[float, int, dict]] = []
+        self._slow_seq = 0
 
     def record_submit(self, now: float) -> None:
         if self.submitted == 0:
@@ -91,9 +134,47 @@ class StatsAccumulator:
             return
         self.completed += 1
         self.last_complete = now
-        self.latencies_ms.append(response.latency_ms)
+        self._record_latency(response.latency_ms)
+        self._record_slow(response)
         result = response.result
         if getattr(result, "exact", True):
             self.exact += 1
         else:
             self.partial += 1
+
+    def latency_window(self) -> List[float]:
+        """The retained (most recent) completed-request latencies."""
+        return list(self._latency_ring)
+
+    def slow_queries(self) -> Tuple[dict, ...]:
+        """Retained worst-latency summaries, slowest first."""
+        return tuple(
+            summary
+            for _, _, summary in sorted(
+                self._slow_heap, key=lambda item: (-item[0], item[1])
+            )
+        )
+
+    def _record_latency(self, latency_ms: float) -> None:
+        if len(self._latency_ring) < LATENCY_WINDOW:
+            self._latency_ring.append(latency_ms)
+            return
+        self._latency_ring[self._latency_pos] = latency_ms
+        self._latency_pos = (self._latency_pos + 1) % LATENCY_WINDOW
+
+    def _record_slow(self, response) -> None:
+        entry = (
+            float(response.latency_ms),
+            self._slow_seq,
+            {
+                "latency_ms": float(response.latency_ms),
+                "queued_ms": float(response.queued_ms),
+                "request": type(response.request).__name__,
+                "exact": bool(getattr(response.result, "exact", True)),
+            },
+        )
+        self._slow_seq += 1
+        if len(self._slow_heap) < SLOW_QUERY_RING:
+            heapq.heappush(self._slow_heap, entry)
+        elif entry[0] > self._slow_heap[0][0]:
+            heapq.heapreplace(self._slow_heap, entry)

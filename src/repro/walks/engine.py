@@ -72,6 +72,30 @@ STAT_PEAKS = ("peak_block_bytes",)
 _STAT_FIELDS = STAT_COUNTERS + STAT_PEAKS
 
 
+class _NullSpan:
+    """The disabled-tracer span: every operation is a no-op.
+
+    Defined here (not in :mod:`repro.obs.trace`, which re-exports it)
+    so the engine's trace hooks need no import from the observability
+    layer — ``walks`` stays at the bottom of the dependency order.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+#: Shared no-op span returned by every trace hook when tracing is off.
+NULL_SPAN = _NullSpan()
+
+
 class WalkEngineStats:
     """Propagation-work counters, cumulative since the last reset.
 
@@ -231,6 +255,10 @@ class WalkEngine:
         # see only their own governor (service workers install one per
         # request without clobbering each other's budgets).
         self._governor_local = threading.local()
+        # Tracer slot, same shape and same reasons: a
+        # repro.obs.QueryTracer installed for one traced query on this
+        # thread; None keeps every hook a single attribute read.
+        self._tracer_local = threading.local()
 
     @property
     def governor(self):
@@ -240,6 +268,28 @@ class WalkEngine:
     @governor.setter
     def governor(self, value) -> None:
         self._governor_local.governor = value
+
+    @property
+    def tracer(self):
+        """This thread's installed query tracer, or ``None``."""
+        return getattr(self._tracer_local, "tracer", None)
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer_local.tracer = value
+
+    def trace_span(self, kind: str, name: str = "", **attrs):
+        """A trace span bound to this engine's stats (no-op when off).
+
+        The returned context manager records this thread's
+        propagation/cache counter deltas and checkpoint-site events for
+        the enclosed work; with no tracer installed it is the shared
+        :data:`NULL_SPAN` singleton.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return NULL_SPAN
+        return tracer.span(kind, name, stats=self.stats, **attrs)
 
     @property
     def graph(self) -> Graph:
@@ -259,7 +309,14 @@ class WalkEngine:
         block the fault injector may poison; ``nbytes`` is a predicted
         allocation size checked against the byte budget before the
         buffers are committed.
+
+        A traced query records the same sites as span events (the event
+        lands before the governor runs, so a budget stop at this
+        checkpoint is still visible in the trace).
         """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(site, nbytes=nbytes)
         if self.governor is not None:
             self.governor.checkpoint(site, block=block, nbytes=nbytes)
 

@@ -163,6 +163,14 @@ class DeepeningRounds:
         stay ``O(max_block_bytes)`` no matter how large the active set
         is.
         """
+        with self._engine.trace_span(
+            "walk_level", level=level, targets=len(active)
+        ):
+            self._walk_level(active, level, consume)
+
+    def _walk_level(
+        self, active: Sequence[int], level: int, consume: Consumer
+    ) -> None:
         cache = self._cache
         self._round_chunks = []
         self._walked = {}

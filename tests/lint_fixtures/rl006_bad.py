@@ -1,0 +1,12 @@
+"""RL006 bad: a drain loop over the lazy ``next_pair`` probe with no
+trace hook or governor checkpoint reachable in its body."""
+
+
+def drain(join, budget):
+    pairs = []
+    while len(pairs) < budget:
+        pair = join.next_pair()
+        if pair is None:
+            break
+        pairs.append(pair)
+    return pairs

@@ -1,0 +1,13 @@
+"""RL006 good: the same lazy drain loop, made observable by wrapping
+each probe in a trace span (a governor checkpoint would also do)."""
+
+
+def drain(engine, join, budget):
+    pairs = []
+    while len(pairs) < budget:
+        with engine.trace_span("join", "drain"):
+            pair = join.next_pair()
+        if pair is None:
+            break
+        pairs.append(pair)
+    return pairs

@@ -20,7 +20,7 @@ from repro.analysis.rules import RULES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
-RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005")
+RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
 NO_BASELINE = FIXTURES / "does-not-exist.baseline"
 
 
@@ -45,6 +45,7 @@ class TestRegistry:
         assert RULES["RL003"].name == "cache-identity-hygiene"
         assert RULES["RL004"].name == "stats-discipline"
         assert RULES["RL005"].name == "swallowed-budget"
+        assert RULES["RL006"].name == "untraced-hook"
 
 
 class TestFixtureCorpus:
@@ -62,6 +63,25 @@ class TestFixtureCorpus:
         findings = lint_paths(FIXTURES / "rl003_bad.py")
         symbols = {finding.symbol for finding in findings}
         assert symbols == {"WobblyBlockKernel", "weights"}
+
+    def test_rl006_internally_hooked_primitives_discharge(self, tmp_path):
+        """``top_k``/``all_pairs``/``walk_level`` open their own spans,
+        so a bare loop over them is already observable; only the pure
+        lazy ``next_pair`` probe needs an explicit hook."""
+        path = tmp_path / "lint_fixtures" / "self_hooked.py"
+        path.parent.mkdir()
+        path.write_text(
+            "def rebuild(joins, k):\n"
+            "    return [join.top_k(k) for join in joins]\n"
+            "\n"
+            "def sweep(joins, k):\n"
+            "    out = []\n"
+            "    for join in joins:\n"
+            "        out.append(join.top_k(k))\n"
+            "    return out\n",
+            encoding="utf-8",
+        )
+        assert lint_paths(path, root=tmp_path) == []
 
     def test_finding_keys_are_line_free_and_renders_carry_lines(self):
         finding = lint_paths(FIXTURES / "rl001_bad.py")[0]

@@ -64,6 +64,48 @@ def test_algorithms_handbook_covers_every_paper_name():
         assert name in text, f"docs/ALGORITHMS.md must document {name}"
 
 
+OBSERVABILITY = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+
+
+def test_observability_doc_snippets_execute():
+    """The observability handbook's ``python`` fences run, in order, in
+    one namespace — including the explain-analyze example that asserts
+    traced answers equal untraced ones."""
+    snippets = _python_snippets(OBSERVABILITY)
+    assert snippets, "docs/OBSERVABILITY.md must contain ```python fences"
+    namespace = {}
+    for snippet in snippets:
+        exec(compile(snippet, str(OBSERVABILITY), "exec"), namespace)
+
+
+def test_observability_doc_metric_names_match_registry():
+    """Every backticked ``repro_*`` name in docs/OBSERVABILITY.md is
+    exactly ``repro.obs.metrics.METRIC_NAMES`` — a metric cannot be
+    added, renamed, or dropped without its documentation moving in the
+    same diff."""
+    from repro.obs.metrics import METRIC_NAMES
+
+    text = OBSERVABILITY.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`(repro_[a-z0-9_]+)`", text))
+    assert documented == set(METRIC_NAMES), (
+        "docs/OBSERVABILITY.md metric catalogue has drifted: "
+        f"missing {sorted(set(METRIC_NAMES) - documented)}, "
+        f"stale {sorted(documented - set(METRIC_NAMES))}"
+    )
+
+
+def test_observability_doc_covers_span_kinds_and_flags():
+    from repro.obs.trace import SPAN_KINDS, TRACE_SCHEMA
+
+    text = OBSERVABILITY.read_text(encoding="utf-8")
+    for kind in SPAN_KINDS:
+        assert f"`{kind}`" in text, f"span kind {kind} must be documented"
+    assert TRACE_SCHEMA in text
+    for flag in ("--trace-out", "--metrics-out", "--metrics-interval",
+                 "--explain analyze"):
+        assert flag in text, f"{flag} must be documented"
+
+
 def test_readme_cli_commands_exist():
     """Each documented `python -m repro <subcommand>` is a real one."""
     text = README.read_text(encoding="utf-8")
@@ -125,6 +167,12 @@ def test_bench_report_not_stale():
     )
     assert payload.get("planner"), "schema 6 reports carry planner rows"
     assert payload.get("service"), "schema 7 reports carry service rows"
+    assert payload.get("observability"), (
+        "schema 8 reports carry observability rows"
+    )
+    assert payload.get("elapsed_s"), (
+        "schema 8 reports carry the per-section elapsed_s map"
+    )
 
 
 def test_bench_report_claims_hold():
@@ -183,12 +231,24 @@ def test_bench_report_claims_hold():
         assert row["warm_walk_hit_rate"] > row["cold_walk_hit_rate"]
         assert row["warm_p99_ms"] >= row["warm_p50_ms"] >= 0.0
     assert {1, 4, 8} <= service_clients
+    obs_scenarios = set()
+    for row in payload["observability"]:
+        obs_scenarios.add(row["scenario"])
+        assert row["answers_match"], "tracing must not change answers"
+        assert row["est_disabled_overhead_fraction"] < 0.02
+        assert row["traced_spans"] > 0 and row["hooks_fired"] >= row["traced_spans"]
+    assert {"skewed-star", "chain"} <= obs_scenarios
+    assert set(payload["elapsed_s"]) >= {
+        "workloads", "bound_cache", "measures", "planner", "service",
+        "observability",
+    }
+    assert all(v >= 0.0 for v in payload["elapsed_s"].values())
 
 
 @pytest.mark.parametrize(
     "path",
     ["README.md", "docs/BENCHMARKS.md", "docs/ALGORITHMS.md",
-     "docs/INVARIANTS.md", "ROADMAP.md"],
+     "docs/INVARIANTS.md", "docs/OBSERVABILITY.md", "ROADMAP.md"],
 )
 def test_doc_files_present(path):
     assert (REPO_ROOT / path).is_file(), f"{path} is part of the front door"

@@ -300,8 +300,9 @@ class TestServiceBattery:
         cache[key] = value
         return value
 
+    @pytest.mark.parametrize("traced", [False, True], ids=["bare", "traced"])
     def test_eight_workers_match_single_threaded_oracle(
-        self, graph, lock_sanitizer
+        self, graph, lock_sanitizer, traced
     ):
         rng = np.random.default_rng(20140808)
         pools = [
@@ -312,9 +313,18 @@ class TestServiceBattery:
         params = DHTParams.dht_lambda(0.2)
         d = params.steps_for_epsilon(1e-6)
 
+        # The traced arm runs the identical battery under the
+        # structured tracer: answers, oracle checks, and the lock-order
+        # report must all hold with spans being recorded.
+        tracer = None
+        if traced:
+            from repro.obs import QueryTracer
+
+            tracer = QueryTracer(max_traces=self.QUERIES)
+
         with QueryService(
             graph, workers=self.WORKERS, queue_depth=self.QUERIES,
-            params=params, d=d,
+            params=params, d=d, tracer=tracer,
         ) as service:
             # Every lock the battery can touch is traced: the service's
             # own, the engine's, its stats shards, and both tiers the
@@ -362,6 +372,21 @@ class TestServiceBattery:
         # held across engine propagation.
         report = lock_sanitizer.assert_clean()
         assert report["edges"], "the battery must actually trace locks"
+
+        if tracer is not None:
+            # Every worker span closed and properly nested, one root
+            # "service" span per completed request, and the admission
+            # counters agree with the service's own accounting.
+            tracer.assert_all_closed()
+            roots = tracer.traces
+            assert len(roots) == self.QUERIES
+            assert all(span.kind == "service" for span in roots)
+            assert tracer.counts.get("admitted", 0) == self.QUERIES
+            assert "rejected" not in tracer.counts
+            total_steps = sum(
+                span.counters.get("propagation_steps", 0) for span in roots
+            )
+            assert total_steps > 0, "traced battery recorded no walk work"
 
 
 def _rows(items):
